@@ -1,0 +1,35 @@
+//! `cargo bench --bench figures` — regenerate every paper artifact at
+//! quick scale and print the series the paper reports.
+//!
+//! This is not a criterion benchmark: it is the figure/table harness
+//! wired into `cargo bench` so that a single `cargo bench --workspace`
+//! leaves a full paper-shaped record in its output. For paper-scale runs
+//! use the `repro` binary (`cargo run --release --bin repro -- all`).
+
+use ldp_bench::experiments::{self, ExperimentCtx};
+use ldp_bench::scale::RunScale;
+use std::time::Instant;
+
+fn main() {
+    // `cargo bench` passes --bench (and possibly filters); this harness
+    // regenerates everything regardless, but honours `--quick-only`-style
+    // filtering by substring if one is given.
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+
+    let ctx = ExperimentCtx::new(RunScale::Quick);
+    eprintln!(
+        "# figures harness: quick scale, seeds={:?}, threads={}",
+        ctx.seeds, ctx.threads
+    );
+    let t0 = Instant::now();
+    let figures = experiments::run_all(&ctx);
+    for figure in &figures {
+        if let Some(f) = &filter {
+            if !figure.id.contains(f.as_str()) {
+                continue;
+            }
+        }
+        println!("{}", figure.render());
+    }
+    eprintln!("# all figures done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,107 @@
+//! Criterion benchmarks of full mechanism runs.
+//!
+//! Measures wall-clock per release step for each of the seven mechanisms
+//! (aggregate collector, LNS stream, paper-default config) and the
+//! collector backends against each other — the numbers that justify
+//! DESIGN.md's claim that paper-scale grids are tractable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldp_ids::runner::{run_on_source, CollectorMode};
+use ldp_ids::{MechanismConfig, MechanismKind};
+use ldp_stream::{Dataset, MaterializedStream};
+
+fn lns_stream(population: u64, len: usize) -> MaterializedStream {
+    let dataset = Dataset::Lns {
+        population,
+        len,
+        p0: 0.05,
+        q_std: 0.0025,
+    };
+    MaterializedStream::from_dataset(&dataset, 7)
+}
+
+fn bench_mechanism_steps(c: &mut Criterion) {
+    let len = 100;
+    let stream = lns_stream(200_000, len);
+    let mut group = c.benchmark_group("mechanism_run_aggregate");
+    group.throughput(Throughput::Elements(len as u64));
+    for kind in MechanismKind::ALL {
+        let config = MechanismConfig::new(1.0, 20, 2, 200_000);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut mech = kind.build(&config).unwrap();
+                let out = run_on_source(
+                    mech.as_mut(),
+                    Box::new(stream.replay()),
+                    len,
+                    CollectorMode::Aggregate,
+                    3,
+                )
+                .unwrap();
+                black_box(out.publications)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_collector_modes(c: &mut Criterion) {
+    // Client mode is O(N) per step; keep N small enough to compare.
+    let len = 20;
+    let population = 5_000;
+    let stream = lns_stream(population, len);
+    let mut group = c.benchmark_group("collector_mode_lpa");
+    group.throughput(Throughput::Elements(len as u64));
+    for (name, mode) in [
+        ("aggregate", CollectorMode::Aggregate),
+        ("client", CollectorMode::Client),
+    ] {
+        let config = MechanismConfig::new(1.0, 10, 2, population);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut mech = MechanismKind::Lpa.build(&config).unwrap();
+                let out =
+                    run_on_source(mech.as_mut(), Box::new(stream.replay()), len, mode, 3).unwrap();
+                black_box(out.cfpu)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    // The aggregate collector's per-step cost must stay flat in N.
+    let len = 50;
+    let mut group = c.benchmark_group("aggregate_population_scaling");
+    for population in [10_000u64, 100_000, 1_000_000] {
+        let stream = lns_stream(population, len);
+        let config = MechanismConfig::new(1.0, 20, 2, population);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(population),
+            &population,
+            |b, _| {
+                b.iter(|| {
+                    let mut mech = MechanismKind::Lba.build(&config).unwrap();
+                    let out = run_on_source(
+                        mech.as_mut(),
+                        Box::new(stream.replay()),
+                        len,
+                        CollectorMode::Aggregate,
+                        3,
+                    )
+                    .unwrap();
+                    black_box(out.publications)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mechanism_steps,
+    bench_collector_modes,
+    bench_population_scaling
+);
+criterion_main!(benches);

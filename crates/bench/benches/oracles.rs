@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the frequency-oracle substrate.
+//!
+//! Measures the three oracle code paths that dominate experiment cost:
+//! per-user perturbation, report accumulation + estimation, and the
+//! aggregate-level sampler the experiment grids run on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldp_fo::{build_oracle, FoKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_perturb");
+    for kind in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
+        for d in [4usize, 64, 1024] {
+            let oracle = build_oracle(kind, 1.0, d).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            group.bench_with_input(BenchmarkId::new(kind.name(), d), &d, |b, _| {
+                b.iter(|| black_box(oracle.perturb(black_box(d / 2), &mut rng)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_estimate");
+    for kind in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
+        let d = 128;
+        let oracle = build_oracle(kind, 1.0, d).unwrap();
+        let counts: Vec<u64> = (0..d as u64).map(|k| 10 + k * 3).collect();
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(oracle.estimate(black_box(&counts), 100_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_perturb_aggregate");
+    for kind in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
+        for n in [10_000u64, 1_000_000] {
+            let d = 117; // Taobao-sized domain
+            let oracle = build_oracle(kind, 1.0, d).unwrap();
+            let mut counts = vec![n / d as u64; d];
+            counts[0] += n - counts.iter().sum::<u64>();
+            let mut rng = StdRng::seed_from_u64(2);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| black_box(oracle.perturb_aggregate(black_box(&counts), &mut rng)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_estimate, bench_aggregate);
+criterion_main!(benches);

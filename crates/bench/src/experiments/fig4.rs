@@ -1,0 +1,46 @@
+//! Fig. 4 — data utility (MRE) vs privacy budget ε.
+//!
+//! Paper setup: w = 20, ε ∈ {0.5, 1, 1.5, 2, 2.5}, all seven mechanisms
+//! on all six datasets (panels a–f). Expected shape: MRE decreases with
+//! ε for every method; the population-division family sits well below
+//! the budget-division family; LSP is lowest on smooth streams.
+
+use super::{paper_datasets, ExperimentCtx};
+use crate::output::{Figure, Panel};
+use crate::spec::RunSpec;
+use ldp_ids::MechanismKind;
+
+/// The ε grid of Fig. 4.
+pub const EPSILONS: [f64; 5] = [0.5, 1.0, 1.5, 2.0, 2.5];
+/// The window size of Fig. 4.
+pub const W: usize = 20;
+
+/// Reproduce the figure.
+pub fn run(ctx: &ExperimentCtx) -> Figure {
+    let mut panels = Vec::new();
+    for dataset in paper_datasets(ctx) {
+        let len = ctx.scale.len(&dataset);
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &EPSILONS,
+            |mech, eps, seed| {
+                let mut spec = RunSpec::new(dataset.clone(), mech, eps, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.error.mre,
+        );
+        panels.push(Panel {
+            name: dataset.name().to_string(),
+            x_label: "epsilon".into(),
+            y_label: "MRE".into(),
+            series,
+        });
+    }
+    Figure {
+        id: "fig4".into(),
+        title: "Data utility with different epsilon".into(),
+        params: format!("w={W}"),
+        panels,
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 5 — data utility (MRE) vs window size w.
+//!
+//! Paper setup: ε = 1, w ∈ {10, 20, 30, 40, 50}, all seven mechanisms on
+//! all six datasets. Expected shape: MRE grows with w everywhere; LBD
+//! deteriorates fastest (exponential decay starves late publications);
+//! LPD/LPA's advantage over LPU widens with w.
+
+use super::{paper_datasets, ExperimentCtx};
+use crate::output::{Figure, Panel};
+use crate::spec::RunSpec;
+use ldp_ids::MechanismKind;
+
+/// The w grid of Fig. 5.
+pub const WINDOWS: [usize; 5] = [10, 20, 30, 40, 50];
+/// The budget of Fig. 5.
+pub const EPSILON: f64 = 1.0;
+
+/// Reproduce the figure.
+pub fn run(ctx: &ExperimentCtx) -> Figure {
+    let mut panels = Vec::new();
+    let xs: Vec<f64> = WINDOWS.iter().map(|&w| w as f64).collect();
+    for dataset in paper_datasets(ctx) {
+        let len = ctx.scale.len(&dataset);
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &xs,
+            |mech, w, seed| {
+                let mut spec = RunSpec::new(dataset.clone(), mech, EPSILON, w as usize, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.error.mre,
+        );
+        panels.push(Panel {
+            name: dataset.name().to_string(),
+            x_label: "w".into(),
+            y_label: "MRE".into(),
+            series,
+        });
+    }
+    Figure {
+        id: "fig5".into(),
+        title: "Data utility with different w".into(),
+        params: format!("epsilon={EPSILON}"),
+        panels,
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 6 — impact of dataset parameters (ε = 1, w = 30).
+//!
+//! Four panels on the synthetic generators:
+//!
+//! * (a) MRE vs population N on LNS, N ∈ {10, 20, 40, 80}·10⁴;
+//! * (b) the same on Sin;
+//! * (c) MRE vs fluctuation √Q on LNS, √Q ∈ {1, 2, 4, 8}·10⁻³;
+//! * (d) MRE vs period parameter b on Sin, b ∈ {1/200, 1/100, 1/50, 1/25}.
+//!
+//! Expected shape: error falls with N (V ∝ 1/n for every method), rises
+//! with fluctuation for the data-dependent methods; LSP crosses from
+//! best (static) to worse than LPD/LPA (volatile).
+
+use super::ExperimentCtx;
+use crate::output::{Figure, Panel};
+use crate::spec::RunSpec;
+use ldp_ids::MechanismKind;
+use ldp_stream::synthetic::DEFAULT_LEN;
+use ldp_stream::Dataset;
+
+/// The window size of Fig. 6.
+pub const W: usize = 30;
+/// The budget of Fig. 6.
+pub const EPSILON: f64 = 1.0;
+/// Populations of panels (a)/(b).
+pub const POPULATIONS: [u64; 4] = [100_000, 200_000, 400_000, 800_000];
+/// LNS noise levels of panel (c).
+pub const Q_STDS: [f64; 4] = [0.001, 0.002, 0.004, 0.008];
+/// Sin period parameters of panel (d).
+pub const SIN_BS: [f64; 4] = [1.0 / 200.0, 1.0 / 100.0, 1.0 / 50.0, 1.0 / 25.0];
+
+fn scaled_population(ctx: &ExperimentCtx, n: u64) -> u64 {
+    // Respect --quick by applying the same shrink factor the scale
+    // applies to default datasets.
+    let probe = Dataset::lns();
+    let factor = ctx.scale.dataset(&probe).population() as f64 / probe.population() as f64;
+    ((n as f64 * factor) as u64).max(20_000)
+}
+
+/// Reproduce the figure.
+pub fn run(ctx: &ExperimentCtx) -> Figure {
+    let mut panels = Vec::new();
+
+    // Panels (a) and (b): population sweeps with fixed frequency process.
+    for base in [Dataset::lns(), Dataset::sin()] {
+        let len = ctx.scale.len(&base);
+        let xs: Vec<f64> = POPULATIONS
+            .iter()
+            .map(|&n| scaled_population(ctx, n) as f64)
+            .collect();
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &xs,
+            |mech, n, seed| {
+                let dataset = base.with_population(n as u64);
+                let mut spec = RunSpec::new(dataset, mech, EPSILON, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.error.mre,
+        );
+        panels.push(Panel {
+            name: format!("{}-population", base.name()),
+            x_label: "N".into(),
+            y_label: "MRE".into(),
+            series,
+        });
+    }
+
+    // Panel (c): LNS fluctuation.
+    {
+        let base = ctx.scale.dataset(&Dataset::lns());
+        let len = ctx.scale.len(&Dataset::lns());
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &Q_STDS,
+            |mech, q_std, seed| {
+                let dataset = Dataset::Lns {
+                    population: base.population(),
+                    len: DEFAULT_LEN,
+                    p0: 0.05,
+                    q_std,
+                };
+                let mut spec = RunSpec::new(dataset, mech, EPSILON, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.error.mre,
+        );
+        panels.push(Panel {
+            name: "lns-fluctuation".into(),
+            x_label: "sqrt(Q)".into(),
+            y_label: "MRE".into(),
+            series,
+        });
+    }
+
+    // Panel (d): Sin period.
+    {
+        let base = ctx.scale.dataset(&Dataset::sin());
+        let len = ctx.scale.len(&Dataset::sin());
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &SIN_BS,
+            |mech, b, seed| {
+                let dataset = Dataset::Sin {
+                    population: base.population(),
+                    len: DEFAULT_LEN,
+                    a: 0.05,
+                    b,
+                    h: 0.075,
+                };
+                let mut spec = RunSpec::new(dataset, mech, EPSILON, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.error.mre,
+        );
+        panels.push(Panel {
+            name: "sin-fluctuation".into(),
+            x_label: "b".into(),
+            y_label: "MRE".into(),
+            series,
+        });
+    }
+
+    Figure {
+        id: "fig6".into(),
+        title: "Impact of dataset parameters".into(),
+        params: format!("epsilon={EPSILON}, w={W}"),
+        panels,
+    }
+}

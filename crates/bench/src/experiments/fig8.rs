@@ -1,0 +1,139 @@
+//! Fig. 8 — communication cost (CFPU) on LNS.
+//!
+//! Four panels, all on the LNS stream:
+//!
+//! * (a) CFPU vs population N ∈ {0.5, 1.0, 1.5, 2.0}·10⁴;
+//! * (b) CFPU vs fluctuation √Q ∈ {0.01, 0.02, 0.04, 0.08};
+//! * (c) CFPU vs ε ∈ {0.5, 1.0, 1.5, 2.0};
+//! * (d) CFPU vs w ∈ {10, 20, 30, 40}.
+//!
+//! Expected shape: the budget family sits at 1 (LBU) to ~1.3 (LBD/LBA);
+//! the population family sits near 1/w; CFPU of the adaptive methods
+//! grows with fluctuation and ε, and falls with w.
+
+use super::ExperimentCtx;
+use crate::output::{Figure, Panel};
+use crate::spec::RunSpec;
+use ldp_ids::MechanismKind;
+use ldp_stream::synthetic::DEFAULT_LEN;
+use ldp_stream::Dataset;
+
+/// Default parameters where a panel does not sweep them.
+pub const W: usize = 20;
+/// Default ε.
+pub const EPSILON: f64 = 1.0;
+/// Panel (a) populations (the paper's axis: 0.5–2.0 ×10⁴ users).
+pub const POPULATIONS: [u64; 4] = [5_000, 10_000, 15_000, 20_000];
+/// Panel (b) fluctuation levels.
+pub const Q_STDS: [f64; 4] = [0.01, 0.02, 0.04, 0.08];
+/// Panel (c) budgets.
+pub const EPSILONS: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
+/// Panel (d) windows.
+pub const WINDOWS: [usize; 4] = [10, 20, 30, 40];
+
+fn lns_with(population: u64, q_std: f64) -> Dataset {
+    Dataset::Lns {
+        population,
+        len: DEFAULT_LEN,
+        p0: 0.05,
+        q_std,
+    }
+}
+
+/// Reproduce the figure.
+pub fn run(ctx: &ExperimentCtx) -> Figure {
+    let base = ctx.scale.dataset(&Dataset::lns());
+    let len = ctx.scale.len(&Dataset::lns());
+    let mut panels = Vec::new();
+
+    // (a) vs population. Fig. 8a deliberately uses small populations, so
+    // no extra scaling is applied in quick mode.
+    {
+        let xs: Vec<f64> = POPULATIONS.iter().map(|&n| n as f64).collect();
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &xs,
+            |mech, n, seed| {
+                let mut spec = RunSpec::new(lns_with(n as u64, 0.0025), mech, EPSILON, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.cfpu,
+        );
+        panels.push(Panel {
+            name: "cfpu-vs-population".into(),
+            x_label: "N".into(),
+            y_label: "CFPU".into(),
+            series,
+        });
+    }
+
+    // (b) vs fluctuation.
+    {
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &Q_STDS,
+            |mech, q_std, seed| {
+                let mut spec =
+                    RunSpec::new(lns_with(base.population(), q_std), mech, EPSILON, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.cfpu,
+        );
+        panels.push(Panel {
+            name: "cfpu-vs-fluctuation".into(),
+            x_label: "sqrt(Q)".into(),
+            y_label: "CFPU".into(),
+            series,
+        });
+    }
+
+    // (c) vs ε.
+    {
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &EPSILONS,
+            |mech, eps, seed| {
+                let mut spec = RunSpec::new(base.clone(), mech, eps, W, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.cfpu,
+        );
+        panels.push(Panel {
+            name: "cfpu-vs-epsilon".into(),
+            x_label: "epsilon".into(),
+            y_label: "CFPU".into(),
+            series,
+        });
+    }
+
+    // (d) vs w.
+    {
+        let xs: Vec<f64> = WINDOWS.iter().map(|&w| w as f64).collect();
+        let series = ctx.sweep(
+            &MechanismKind::ALL,
+            &xs,
+            |mech, w, seed| {
+                let mut spec = RunSpec::new(base.clone(), mech, EPSILON, w as usize, seed);
+                spec.len = len;
+                spec
+            },
+            |out| out.cfpu,
+        );
+        panels.push(Panel {
+            name: "cfpu-vs-w".into(),
+            x_label: "w".into(),
+            y_label: "CFPU".into(),
+            series,
+        });
+    }
+
+    Figure {
+        id: "fig8".into(),
+        title: "Communication frequency per user (LNS)".into(),
+        params: format!("defaults: epsilon={EPSILON}, w={W}"),
+        panels,
+    }
+}

@@ -1,0 +1,150 @@
+//! Non-private inspection targets: dataset statistics and the
+//! closed-form analysis tables.
+//!
+//! Neither is a paper artifact; both exist so that a user can sanity-
+//! check the *inputs* of the reproduction without reading code:
+//!
+//! * `repro datasets` — materializes each evaluation dataset and prints
+//!   its shape and drift profile (the properties the adaptive
+//!   mechanisms exploit);
+//! * `repro analysis` — prints the §5.4.2/§6.3.2 closed-form
+//!   publication-variance tables as a function of the per-window
+//!   publication count `m`.
+
+use super::ExperimentCtx;
+use crate::output::{trim_float, Figure, Panel};
+use ldp_ids::analysis;
+use ldp_ids::dissimilarity::true_dissimilarity;
+use ldp_ids::MechanismConfig;
+use ldp_metrics::Series;
+
+/// Dataset statistics: one panel per dataset; series are scalar rows.
+pub fn datasets(ctx: &ExperimentCtx) -> Figure {
+    let mut panels = Vec::new();
+    for dataset in super::paper_datasets(ctx) {
+        let len = ctx.scale.len(&dataset);
+        let stream = ctx.streams.get(&dataset, ctx.seeds[0], len);
+        let freqs = stream.frequency_matrix();
+        // Mean per-step drift (the quantity `dis` estimates).
+        let mut drift = 0.0;
+        for w in freqs.windows(2) {
+            drift += true_dissimilarity(&w[1], &w[0]);
+        }
+        drift /= (freqs.len() - 1).max(1) as f64;
+        // Peak cell frequency (domain skew).
+        let peak = freqs
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .fold(0.0f64, f64::max);
+
+        let mut rows = Vec::new();
+        for (label, value) in [
+            ("population N", dataset.population() as f64),
+            ("steps T", len as f64),
+            ("domain d", dataset.domain_size() as f64),
+            ("step drift (1e-6)", drift * 1e6),
+            ("peak cell freq", peak),
+        ] {
+            let mut s = Series::new(label);
+            s.push_samples(0.0, &[value]);
+            rows.push(s);
+        }
+        panels.push(Panel {
+            name: dataset.name().to_string(),
+            x_label: "-".into(),
+            y_label: "value".into(),
+            series: rows,
+        });
+    }
+    Figure {
+        id: "datasets".into(),
+        title: "Evaluation dataset statistics".into(),
+        params: format!("seed={}", ctx.seeds[0]),
+        panels,
+    }
+}
+
+/// The closed-form publication-variance tables (Eq. 8–11) as series
+/// over the per-window publication count `m`.
+pub fn analysis_tables() -> Figure {
+    let config = MechanismConfig::new(1.0, 20, 2, 200_000);
+    let ms: Vec<f64> = (1..=10).map(|m| m as f64).collect();
+    let mut series = Vec::new();
+    for (label, f) in [
+        (
+            "lbd (eq.8)",
+            &analysis::publication_variance_lbd as &dyn Fn(&MechanismConfig, u32) -> f64,
+        ),
+        ("lba (eq.9)", &analysis::publication_variance_lba),
+        ("lpd (eq.10)", &analysis::publication_variance_lpd),
+        ("lpa (eq.11)", &analysis::publication_variance_lpa),
+    ] {
+        let mut s = Series::new(label);
+        for &m in &ms {
+            s.push_samples(m, &[f(&config, m as u32)]);
+        }
+        series.push(s);
+    }
+    // The uniform baselines as flat references.
+    for (label, value) in [
+        (
+            "lbu (V(e/w,N))",
+            analysis::mse_lbu(&config) * config.w as f64,
+        ),
+        (
+            "lpu (V(e,N/w))",
+            analysis::mse_lpu(&config) * config.w as f64,
+        ),
+    ] {
+        let mut s = Series::new(label);
+        for &m in &ms {
+            s.push_samples(m, &[value]);
+        }
+        series.push(s);
+    }
+    Figure {
+        id: "analysis".into(),
+        title: "Closed-form per-window publication variance (Eq. 8-11)".into(),
+        params: format!(
+            "epsilon={}, w={}, d={}, N={} (GRR)",
+            trim_float(config.epsilon),
+            config.w,
+            config.domain_size,
+            config.population
+        ),
+        panels: vec![Panel {
+            name: "variance-vs-m".into(),
+            x_label: "m".into(),
+            y_label: "sum Var".into(),
+            series,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::RunScale;
+
+    #[test]
+    fn analysis_figure_orders_families() {
+        let fig = analysis_tables();
+        let panel = &fig.panels[0];
+        let get = |label: &str| panel.series.iter().find(|s| s.label == label).unwrap().ys();
+        let lbd = get("lbd (eq.8)");
+        let lpd = get("lpd (eq.10)");
+        for (b, p) in lbd.iter().zip(&lpd) {
+            assert!(p < b, "population must beat budget at every m");
+        }
+    }
+
+    #[test]
+    fn dataset_stats_have_expected_shape() {
+        let ctx = ExperimentCtx::new(RunScale::Quick).with_seeds(vec![3]);
+        let fig = datasets(&ctx);
+        assert_eq!(fig.panels.len(), 6);
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 5, "{}", panel.name);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A small parallel grid executor.
+//!
+//! Experiment grids are embarrassingly parallel (every run is
+//! independent once its stream is materialized), bursty (6 datasets × 7
+//! mechanisms × 5 sweep values × seeds), and short-lived — a work-stealing
+//! pool would be overkill. Scoped threads plus an atomic cursor over the
+//! job list is enough and keeps the dependency set at `crossbeam`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `job` over every element of `inputs` on up to `threads` workers,
+/// preserving input order in the output.
+///
+/// Panics in jobs propagate (the scope re-raises them) — an experiment
+/// that cannot run is a bug, not a data point to silently drop.
+pub fn run_parallel<I, O, F>(inputs: &[I], threads: usize, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(threads >= 1, "need at least one worker");
+    let n = inputs.len();
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cursor = AtomicUsize::new(0);
+    {
+        // Split the output into one independently-writable cell per job.
+        let cells: Vec<_> = slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(n) {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = job(&inputs[i]);
+                    **cells[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("experiment worker panicked");
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job filled its slot"))
+        .collect()
+}
+
+/// The worker count to use: all cores, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = run_parallel(&inputs, 8, |&x| x * x);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let counter = AtomicU64::new(0);
+        let inputs: Vec<u32> = (0..57).collect();
+        let _ = run_parallel(&inputs, 3, |_| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = run_parallel(&Vec::<u32>::new(), 4, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = run_parallel(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn job_panics_propagate() {
+        run_parallel(&[1], 2, |_| -> u32 { panic!("boom") });
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure/table rendering and JSON output.
+
+use ldp_metrics::{Series, Table};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One panel of a figure: a set of series over a shared x axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel name — the subfigure caption (dataset name, usually).
+    pub name: String,
+    /// What the x axis sweeps.
+    pub x_label: String,
+    /// What the y axis measures.
+    pub y_label: String,
+    /// One series per mechanism.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Render the panel as a fixed-width table: one row per mechanism,
+    /// one column per x value.
+    pub fn render(&self) -> String {
+        let mut headers = vec![format!("{} \\ {}", self.y_label, self.x_label)];
+        if let Some(first) = self.series.first() {
+            headers.extend(first.xs().iter().map(|x| trim_float(*x)));
+        }
+        let mut table = Table::new(headers);
+        for s in &self.series {
+            table.push_numeric_row(s.label.clone(), &s.ys(), 4);
+        }
+        format!("--- {} ---\n{}", self.name, table.render())
+    }
+}
+
+/// A reproduced paper figure (or table rendered as panels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper artifact id: "fig4", "table2", …
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Parameters the whole figure shares, as display text.
+    pub params: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Render all panels.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ({}) ==\n", self.id, self.title, self.params);
+        for p in &self.panels {
+            out.push('\n');
+            out.push_str(&p.render());
+        }
+        out
+    }
+
+    /// Write the figure as pretty JSON under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("figures always serialize");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Fetch a series by panel and label (test helper).
+    pub fn series(&self, panel: &str, label: &str) -> Option<&Series> {
+        self.panels
+            .iter()
+            .find(|p| p.name == panel)?
+            .series
+            .iter()
+            .find(|s| s.label == label)
+    }
+}
+
+/// Format an x value without trailing zeros ("0.5", "1", "200000").
+pub fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        let s = format!("{x:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut s = Series::new("lpa");
+        s.push_samples(0.5, &[0.2]);
+        s.push_samples(1.0, &[0.1]);
+        Figure {
+            id: "figX".into(),
+            title: "sample".into(),
+            params: "w=20".into(),
+            panels: vec![Panel {
+                name: "lns".into(),
+                x_label: "epsilon".into(),
+                y_label: "MRE".into(),
+                series: vec![s],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_panel_and_values() {
+        let r = sample_figure().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("lns"));
+        assert!(r.contains("0.2000"));
+        assert!(r.contains("0.5"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample_figure();
+        assert!(f.series("lns", "lpa").is_some());
+        assert!(f.series("lns", "nope").is_none());
+        assert!(f.series("nope", "lpa").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_via_tempdir() {
+        let f = sample_figure();
+        let dir = std::env::temp_dir().join("ldp_bench_output_test");
+        let path = f.write_json(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Figure = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, f);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(1.0), "1");
+        assert_eq!(trim_float(0.5), "0.5");
+        assert_eq!(trim_float(0.0025), "0.0025");
+        assert_eq!(trim_float(200000.0), "200000");
+    }
+}

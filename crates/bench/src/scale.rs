@@ -1,0 +1,131 @@
+//! Paper-scale vs quick-scale experiment sizing.
+//!
+//! The aggregate collector makes full paper populations cheap (cost per
+//! step is O(d) binomial draws, independent of N), but stream
+//! *materialization* and seed multiplicity still add up across the ~30
+//! grid slices of a full reproduction. `--quick` trades statistical
+//! smoothness for wall-clock: shorter streams, smaller synthetic
+//! populations, fewer seeds — same mechanisms, same grids, same shape.
+
+use ldp_stream::{Dataset, MaterializedStream, StreamCache};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How large to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RunScale {
+    /// The paper's populations and stream lengths, 3 seeds.
+    #[default]
+    Paper,
+    /// Shrunk populations / truncated streams, 2 seeds.
+    Quick,
+}
+
+impl RunScale {
+    /// Adjust a dataset for this scale.
+    pub fn dataset(self, dataset: &Dataset) -> Dataset {
+        match self {
+            RunScale::Paper => dataset.clone(),
+            RunScale::Quick => {
+                // Populations ÷ 10 with a floor that keeps ⌊N/(2w)⌋ sane
+                // at the paper's largest w = 50.
+                let population = (dataset.population() / 10).max(20_000);
+                dataset.with_population(population)
+            }
+        }
+    }
+
+    /// Stream length for a dataset at this scale.
+    pub fn len(self, dataset: &Dataset) -> usize {
+        match self {
+            RunScale::Paper => dataset.len(),
+            RunScale::Quick => dataset.len().min(160),
+        }
+    }
+
+    /// The experiment seeds at this scale (overridable via CLI).
+    pub fn default_seeds(self) -> Vec<u64> {
+        match self {
+            RunScale::Paper => vec![11, 23, 47],
+            RunScale::Quick => vec![11, 23],
+        }
+    }
+}
+
+/// A thread-safe cache of materialized streams shared by one experiment
+/// invocation, keyed by `(dataset, seed, len)`.
+///
+/// Wraps [`StreamCache`] (which always materializes natural length) with
+/// scale-aware truncation: a truncated view is a prefix of the natural
+/// stream, so quick runs see the *same* realisations, just shorter.
+#[derive(Default)]
+pub struct SharedStreams {
+    cache: StreamCache,
+}
+
+impl SharedStreams {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Materialize (or fetch) `dataset` at `seed`, truncated to `len`.
+    pub fn get(&self, dataset: &Dataset, seed: u64, len: usize) -> Arc<MaterializedStream> {
+        let full = self.cache.get(dataset, seed);
+        if len >= full.len() {
+            return full;
+        }
+        let truncated = MaterializedStream::from_source(&mut full.replay(), len);
+        Arc::new(truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_identity() {
+        let d = Dataset::lns();
+        assert_eq!(RunScale::Paper.dataset(&d), d);
+        assert_eq!(RunScale::Paper.len(&d), 800);
+    }
+
+    #[test]
+    fn quick_scale_shrinks() {
+        let d = Dataset::taobao();
+        let q = RunScale::Quick.dataset(&d);
+        assert_eq!(q.population(), 102_315);
+        assert_eq!(RunScale::Quick.len(&d), 160);
+    }
+
+    #[test]
+    fn quick_scale_floors_small_populations() {
+        let d = Dataset::taxi(); // N = 10 357
+        let q = RunScale::Quick.dataset(&d);
+        assert_eq!(q.population(), 20_000);
+    }
+
+    #[test]
+    fn shared_streams_truncate_to_prefix() {
+        let streams = SharedStreams::new();
+        let d = Dataset::Lns {
+            population: 2000,
+            len: 50,
+            p0: 0.05,
+            q_std: 0.0025,
+        };
+        let full = streams.get(&d, 7, 50);
+        let short = streams.get(&d, 7, 20);
+        assert_eq!(short.len(), 20);
+        for t in 0..20 {
+            assert_eq!(short.histogram(t), full.histogram(t), "prefix at {t}");
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_scale() {
+        assert_eq!(RunScale::Paper.default_seeds().len(), 3);
+        assert_eq!(RunScale::Quick.default_seeds().len(), 2);
+    }
+}

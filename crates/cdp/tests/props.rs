@@ -1,0 +1,85 @@
+//! Property tests for the centralized w-event DP substrate.
+
+use ldp_cdp::{run_cdp, CdpKind, CdpLedger};
+use ldp_stream::source::ReplaySource;
+use ldp_stream::TrueHistogram;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stream_from(rows: Vec<Vec<u64>>) -> ReplaySource {
+    let seq: Vec<TrueHistogram> = rows
+        .into_iter()
+        .map(|mut counts| {
+            // Keep the population constant across rows.
+            let total: u64 = counts.iter().sum();
+            counts[0] += 10_000 - total.min(10_000);
+            TrueHistogram::new(counts)
+        })
+        .collect();
+    ReplaySource::new("prop", seq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every centralized mechanism runs on any stream and produces the
+    /// declared shape; the adaptive ones never panic the ledger.
+    #[test]
+    fn all_cdp_mechanisms_run(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000, 3..=3), 10..40),
+        w in 1usize..12,
+        eps in 0.1f64..4.0,
+        kind_idx in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let steps = rows.len();
+        let mut source = stream_from(rows);
+        let kind = CdpKind::ALL[kind_idx];
+        let mut mech = kind.build(eps, w, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let released = run_cdp(mech.as_mut(), &mut source, steps, &mut rng);
+        prop_assert_eq!(released.len(), steps);
+        for row in &released {
+            prop_assert_eq!(row.len(), 3);
+            for v in row {
+                prop_assert!(v.is_finite());
+            }
+        }
+        prop_assert!(mech.publications() <= steps as u64);
+    }
+
+    /// The CDP ledger mirrors a sliding-window sum exactly.
+    #[test]
+    fn ledger_matches_window_model(
+        spends in proptest::collection::vec(0.0f64..0.2, 1..60),
+        w in 1usize..10,
+    ) {
+        // Scale spends so no window can exceed ε = 1.
+        let mut ledger = CdpLedger::new(1.0, w);
+        let mut history: Vec<f64> = Vec::new();
+        for &s in &spends {
+            let spend = s / w as f64;
+            ledger.spend(spend);
+            history.push(spend);
+            let tail: f64 = history[history.len().saturating_sub(w)..].iter().sum();
+            prop_assert!((ledger.window_total() - tail).abs() < 1e-12);
+            prop_assert!((ledger.remaining() - (1.0 - tail)).abs() < 1e-9);
+        }
+    }
+
+    /// Uniform releases are unbiased: with many users the noise is small
+    /// relative to the signal at generous ε.
+    #[test]
+    fn cdp_uniform_tracks_truth(seed in 0u64..500) {
+        let rows = vec![vec![8_000u64, 1_000, 1_000]; 8];
+        let mut source = stream_from(rows);
+        let mut mech = CdpKind::Uniform.build(4.0, 2, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let released = run_cdp(mech.as_mut(), &mut source, 8, &mut rng);
+        let avg_cell0: f64 =
+            released.iter().map(|r| r[0]).sum::<f64>() / released.len() as f64;
+        prop_assert!((avg_cell0 - 0.8).abs() < 0.05, "avg {avg_cell0}");
+    }
+}

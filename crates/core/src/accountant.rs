@@ -1,0 +1,179 @@
+//! Runtime w-event LDP accounting.
+//!
+//! Theorem 5.1: a per-timestamp composition `M = (M_1, M_2, …)` satisfies
+//! w-event ε-LDP if every window's budget sum is at most ε. Theorem 6.2:
+//! the population-division mechanisms satisfy it because each user
+//! reports at most once per window, always through an ε-LDP oracle.
+//!
+//! The ledgers here assert those two invariants *as the mechanisms run*.
+//! They are cheap (a ring buffer / an id set) and always on: a scheduling
+//! bug becomes a panic in tests rather than a silent privacy violation.
+
+use ldp_stream::RingWindow;
+
+/// Budget-division accountant: records `ε_t = ε_{t,1} + ε_{t,2}` per
+/// timestamp and asserts `Σ_{i∈window} ε_i ≤ ε`.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    epsilon: f64,
+    window: RingWindow<f64>,
+    tolerance: f64,
+    max_window_total: f64,
+}
+
+impl BudgetLedger {
+    /// A ledger for window budget `ε` over windows of `w` timestamps.
+    pub fn new(epsilon: f64, w: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite());
+        BudgetLedger {
+            epsilon,
+            window: RingWindow::new(w),
+            tolerance: 1e-9 * epsilon.max(1.0),
+            max_window_total: 0.0,
+        }
+    }
+
+    /// Record this timestamp's total spend and check the invariant.
+    ///
+    /// # Panics
+    /// If any window would exceed ε.
+    pub fn spend(&mut self, eps_t: f64) {
+        assert!(eps_t >= 0.0, "negative budget spend {eps_t}");
+        self.window.push(eps_t);
+        let total = self.window.sum();
+        self.max_window_total = self.max_window_total.max(total);
+        assert!(
+            total <= self.epsilon + self.tolerance,
+            "w-event LDP violated: window budget {total} > epsilon {}",
+            self.epsilon
+        );
+    }
+
+    /// Budget spent in the active window.
+    pub fn window_total(&self) -> f64 {
+        self.window.sum()
+    }
+
+    /// The largest window total ever observed (≤ ε by the assertion).
+    pub fn max_window_total(&self) -> f64 {
+        self.max_window_total
+    }
+}
+
+/// Population-division accountant: tracks how many users reported in the
+/// active window and asserts the total never exceeds the population
+/// (i.e. some user would have to report twice).
+///
+/// This count-level ledger is exact for mechanisms that always request
+/// *fresh* users; the id-level variant lives in the client collector,
+/// which knows actual identities.
+#[derive(Debug, Clone)]
+pub struct ParticipationLedger {
+    population: u64,
+    window: RingWindow<u64>,
+    max_window_total: u64,
+}
+
+impl ParticipationLedger {
+    /// A ledger for `population` users over windows of `w` timestamps.
+    pub fn new(population: u64, w: usize) -> Self {
+        ParticipationLedger {
+            population,
+            window: RingWindow::new(w),
+            max_window_total: 0,
+        }
+    }
+
+    /// Record how many users reported at this timestamp.
+    ///
+    /// # Panics
+    /// If the window total would exceed the population.
+    pub fn report(&mut self, users: u64) {
+        self.window.push(users);
+        let total = self.window.sum_u64();
+        self.max_window_total = self.max_window_total.max(total);
+        assert!(
+            total <= self.population,
+            "w-event LDP violated: {total} reports in one window from {} users",
+            self.population
+        );
+    }
+
+    /// Users who reported in the active window.
+    pub fn window_total(&self) -> u64 {
+        self.window.sum_u64()
+    }
+
+    /// The largest window total ever observed.
+    pub fn max_window_total(&self) -> u64 {
+        self.max_window_total
+    }
+
+    /// Users still unused in the active window.
+    pub fn remaining(&self) -> u64 {
+        self.population - self.window.sum_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_ledger_tracks_window_sum() {
+        let mut l = BudgetLedger::new(1.0, 3);
+        l.spend(0.3);
+        l.spend(0.3);
+        l.spend(0.4);
+        assert!((l.window_total() - 1.0).abs() < 1e-9);
+        // Sliding out the first 0.3 frees room.
+        l.spend(0.3);
+        assert!((l.window_total() - 1.0).abs() < 1e-9);
+        assert!((l.max_window_total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "w-event LDP violated")]
+    fn budget_ledger_panics_on_overspend() {
+        let mut l = BudgetLedger::new(1.0, 2);
+        l.spend(0.6);
+        l.spend(0.6);
+    }
+
+    #[test]
+    fn budget_ledger_allows_exact_epsilon() {
+        let mut l = BudgetLedger::new(2.0, 4);
+        for _ in 0..16 {
+            l.spend(0.5);
+        }
+    }
+
+    #[test]
+    fn participation_ledger_tracks_users() {
+        let mut l = ParticipationLedger::new(100, 2);
+        l.report(60);
+        assert_eq!(l.remaining(), 40);
+        l.report(40);
+        assert_eq!(l.window_total(), 100);
+        // Window slides: the 60 expire.
+        l.report(60);
+        assert_eq!(l.window_total(), 100);
+        assert_eq!(l.max_window_total(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "w-event LDP violated")]
+    fn participation_ledger_panics_on_double_booking() {
+        let mut l = ParticipationLedger::new(100, 3);
+        l.report(50);
+        l.report(51);
+    }
+
+    #[test]
+    fn participation_window_of_one_resets_every_step() {
+        let mut l = ParticipationLedger::new(10, 1);
+        for _ in 0..5 {
+            l.report(10);
+        }
+    }
+}

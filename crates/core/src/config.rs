@@ -1,0 +1,254 @@
+//! Mechanism configuration.
+
+use crate::error::CoreError;
+use ldp_fo::FoKind;
+use serde::{Deserialize, Serialize};
+
+/// How per-cell estimation variance is computed when the mechanisms need
+/// it (the dissimilarity correction of Theorem 5.2 and the publication
+/// error `err` of §5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VarianceModel {
+    /// The f-independent average `V(ε, n)` with `f = 1/d` — what the
+    /// paper's mechanisms use.
+    #[default]
+    Approximate,
+    /// Plug the current frequency estimates into Eq. (2) per cell. More
+    /// faithful for skewed histograms; ablated in the bench crate.
+    FrequencyAware,
+}
+
+/// Shared configuration of every w-event LDP mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismConfig {
+    /// Total privacy budget ε available in any window of `w` timestamps.
+    pub epsilon: f64,
+    /// Window size `w`.
+    pub w: usize,
+    /// Domain cardinality `d`.
+    pub domain_size: usize,
+    /// Population size `N`.
+    pub population: u64,
+    /// Frequency oracle to report through.
+    pub fo: FoKind,
+    /// Minimum usable publication-user group (Alg. 3 line 10); below it
+    /// LPD approximates regardless of dissimilarity.
+    pub u_min: u64,
+    /// Variance model for `dis`/`err`.
+    pub variance: VarianceModel,
+    /// Fraction of the window resource (budget or population) reserved
+    /// for the dissimilarity sub-mechanism M₁. The paper fixes 1/2
+    /// ("we evenly divide the entire budget … for two components",
+    /// §5.3.3); exposed here for the `abl-split` ablation. Must lie
+    /// strictly inside (0, 1).
+    pub dissimilarity_share: f64,
+}
+
+impl MechanismConfig {
+    /// A config with the paper's defaults: GRR oracle, `u_min = 1`,
+    /// approximate variance.
+    pub fn new(epsilon: f64, w: usize, domain_size: usize, population: u64) -> Self {
+        MechanismConfig {
+            epsilon,
+            w,
+            domain_size,
+            population,
+            fo: FoKind::Grr,
+            u_min: 1,
+            variance: VarianceModel::Approximate,
+            dissimilarity_share: 0.5,
+        }
+    }
+
+    /// Override the frequency oracle.
+    pub fn with_fo(mut self, fo: FoKind) -> Self {
+        self.fo = fo;
+        self
+    }
+
+    /// Override the variance model.
+    pub fn with_variance(mut self, v: VarianceModel) -> Self {
+        self.variance = v;
+        self
+    }
+
+    /// Override `u_min`.
+    pub fn with_u_min(mut self, u_min: u64) -> Self {
+        self.u_min = u_min;
+        self
+    }
+
+    /// Override the M₁ resource share (paper default: 0.5).
+    pub fn with_dissimilarity_share(mut self, share: f64) -> Self {
+        self.dissimilarity_share = share;
+        self
+    }
+
+    /// Validate invariants shared by all mechanisms.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(CoreError::InvalidEpsilon(self.epsilon));
+        }
+        if self.w < 1 {
+            return Err(CoreError::InvalidWindow(self.w));
+        }
+        if self.domain_size < 2 {
+            return Err(CoreError::InvalidDomain(self.domain_size));
+        }
+        if !self.dissimilarity_share.is_finite()
+            || self.dissimilarity_share <= 0.0
+            || self.dissimilarity_share >= 1.0
+        {
+            return Err(CoreError::InvalidShare(self.dissimilarity_share));
+        }
+        Ok(())
+    }
+
+    /// Additional requirement for population division: at least one user
+    /// per dissimilarity group and per publication slot
+    /// (`N·share ≥ w` and `N·(1−share) ≥ w`; `N ≥ 2w` at the paper's
+    /// 50/50 split).
+    pub fn validate_population_division(&self) -> Result<(), CoreError> {
+        self.validate()?;
+        if self.dissimilarity_group_size() < 1 || self.publication_pool_size() < self.w as u64 {
+            let share = self.dissimilarity_share.min(1.0 - self.dissimilarity_share);
+            let required = (self.w as f64 / share).ceil() as u64;
+            return Err(CoreError::PopulationTooSmall {
+                population: self.population,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    /// The dissimilarity pool: `⌊N·share⌋` users reserved for M₁
+    /// (`⌊N/2⌋` at the paper's split).
+    pub fn dissimilarity_pool_size(&self) -> u64 {
+        (self.population as f64 * self.dissimilarity_share).floor() as u64
+    }
+
+    /// The publication pool: `⌊N·(1−share)⌋` users reserved for M₂.
+    pub fn publication_pool_size(&self) -> u64 {
+        (self.population as f64 * (1.0 - self.dissimilarity_share)).floor() as u64
+    }
+
+    /// The per-timestamp dissimilarity group `⌊⌊N·share⌋/w⌋`
+    /// (`⌊N/(2w)⌋` at the paper's split).
+    pub fn dissimilarity_group_size(&self) -> u64 {
+        self.dissimilarity_pool_size() / self.w as u64
+    }
+
+    /// The per-timestamp dissimilarity budget `share·ε/w`
+    /// (`ε/(2w)` at the paper's split).
+    pub fn dissimilarity_budget_per_step(&self) -> f64 {
+        self.dissimilarity_share * self.epsilon / self.w as f64
+    }
+
+    /// The window publication budget `(1−share)·ε`
+    /// (`ε/2` at the paper's split).
+    pub fn publication_budget_pool(&self) -> f64 {
+        (1.0 - self.dissimilarity_share) * self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MechanismConfig::new(1.0, 20, 2, 200_000);
+        assert_eq!(c.fo, FoKind::Grr);
+        assert_eq!(c.u_min, 1);
+        assert_eq!(c.variance, VarianceModel::Approximate);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(matches!(
+            MechanismConfig::new(0.0, 20, 2, 100).validate(),
+            Err(CoreError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            MechanismConfig::new(1.0, 0, 2, 100).validate(),
+            Err(CoreError::InvalidWindow(0))
+        ));
+        assert!(matches!(
+            MechanismConfig::new(1.0, 5, 1, 100).validate(),
+            Err(CoreError::InvalidDomain(1))
+        ));
+    }
+
+    #[test]
+    fn population_division_needs_two_w_users() {
+        let c = MechanismConfig::new(1.0, 10, 2, 19);
+        assert!(matches!(
+            c.validate_population_division(),
+            Err(CoreError::PopulationTooSmall { required: 20, .. })
+        ));
+        let ok = MechanismConfig::new(1.0, 10, 2, 20);
+        assert!(ok.validate_population_division().is_ok());
+    }
+
+    #[test]
+    fn group_size_floors() {
+        let c = MechanismConfig::new(1.0, 20, 2, 1000);
+        assert_eq!(c.dissimilarity_group_size(), 25);
+        let c2 = MechanismConfig::new(1.0, 20, 2, 1010);
+        assert_eq!(c2.dissimilarity_group_size(), 25, "floor division");
+    }
+
+    #[test]
+    fn share_validation() {
+        for bad in [0.0, 1.0, -0.2, 1.3, f64::NAN] {
+            let c = MechanismConfig::new(1.0, 5, 2, 1000).with_dissimilarity_share(bad);
+            assert!(
+                matches!(c.validate(), Err(CoreError::InvalidShare(_))),
+                "share {bad} accepted"
+            );
+        }
+        let ok = MechanismConfig::new(1.0, 5, 2, 1000).with_dissimilarity_share(0.25);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn share_splits_pools() {
+        let c = MechanismConfig::new(1.0, 10, 2, 1000).with_dissimilarity_share(0.3);
+        assert_eq!(c.dissimilarity_pool_size(), 300);
+        assert_eq!(c.publication_pool_size(), 700);
+        assert_eq!(c.dissimilarity_group_size(), 30);
+        assert!((c.dissimilarity_budget_per_step() - 0.03).abs() < 1e-12);
+        assert!((c.publication_budget_pool() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_split_matches_original_formulas() {
+        // share = 0.5 must reproduce ⌊N/(2w)⌋ and ε/(2w) exactly.
+        let c = MechanismConfig::new(1.0, 20, 2, 1010);
+        assert_eq!(c.dissimilarity_group_size(), 25);
+        assert!((c.dissimilarity_budget_per_step() - 1.0 / 40.0).abs() < 1e-15);
+        assert!((c.publication_budget_pool() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lopsided_share_raises_population_requirement() {
+        // share = 0.05 of N = 100 over w = 10: dissimilarity pool 5 < w.
+        let c = MechanismConfig::new(1.0, 10, 2, 100).with_dissimilarity_share(0.05);
+        assert!(matches!(
+            c.validate_population_division(),
+            Err(CoreError::PopulationTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = MechanismConfig::new(1.0, 5, 4, 100)
+            .with_fo(FoKind::Oue)
+            .with_u_min(7)
+            .with_variance(VarianceModel::FrequencyAware);
+        assert_eq!(c.fo, FoKind::Oue);
+        assert_eq!(c.u_min, 7);
+        assert_eq!(c.variance, VarianceModel::FrequencyAware);
+    }
+}

@@ -1,0 +1,178 @@
+//! Private dissimilarity estimation (paper §5.3.1, Theorem 5.2).
+//!
+//! The adaptive mechanisms decide between *publishing* a fresh estimate
+//! and *approximating* with the previous release by comparing
+//!
+//! * `dis` — how far the stream has drifted from the last release, and
+//! * `err` — how noisy a fresh publication would be.
+//!
+//! The true drift `dis* = (1/d)·Σ_k (c_t[k] − r_l[k])²` involves the raw
+//! histogram `c_t`, which an LDP server never sees. Theorem 5.2 gives an
+//! unbiased estimator from the round estimate `ĉ_{t,1}` alone:
+//!
+//! ```text
+//! dis = (1/d)·Σ_k (ĉ_{t,1}[k] − r_l[k])²  −  (1/d)·Σ_k Var(ĉ_{t,1}[k])
+//! ```
+//!
+//! — the squared distance of the *noisy* estimate, debiased by the
+//! estimator's own variance. The variance term is closed-form (Eq. 2),
+//! parameterized by the round's budget and group size.
+
+use crate::config::VarianceModel;
+use ldp_fo::variance::{cell_variance, PqPair};
+use ldp_util::KahanSum;
+
+/// The paper's `V(ε, n)`: expected mean-square estimation error of one
+/// FO round, averaged over the `d` cells.
+///
+/// Under [`VarianceModel::Approximate`] every cell is treated as holding
+/// frequency `1/d` (the exact average when `Σf = 1`); under
+/// [`VarianceModel::FrequencyAware`] the current frequency estimates are
+/// plugged into Eq. (2) per cell (clamped into `[0, 1]`, since LDP
+/// estimates can stray outside the simplex).
+pub fn expected_round_mse(
+    model: VarianceModel,
+    pq: PqPair,
+    reporters: u64,
+    d: usize,
+    frequencies: Option<&[f64]>,
+) -> f64 {
+    match (model, frequencies) {
+        (VarianceModel::FrequencyAware, Some(freqs)) => {
+            debug_assert_eq!(freqs.len(), d);
+            let mut sum = KahanSum::new();
+            for &f in freqs {
+                sum.add(cell_variance(pq, reporters, f.clamp(0.0, 1.0)));
+            }
+            sum.sum() / d as f64
+        }
+        _ => cell_variance(pq, reporters, 1.0 / d as f64),
+    }
+}
+
+/// The Theorem 5.2 estimator: unbiased `dis` from a round estimate.
+///
+/// `estimate` is `ĉ_{t,1}`, `last_release` is `r_l`, and `round_mse` is
+/// the `(1/d)·Σ Var` correction from [`expected_round_mse`] for the round
+/// that produced `estimate`.
+///
+/// The result can be negative (the correction is an expectation, the
+/// quadratic term a single sample); callers compare it against `err > 0`,
+/// so negative values simply force the approximation branch.
+pub fn estimate_dissimilarity(estimate: &[f64], last_release: &[f64], round_mse: f64) -> f64 {
+    debug_assert_eq!(estimate.len(), last_release.len());
+    let d = estimate.len() as f64;
+    let mut sq = KahanSum::new();
+    for (e, r) in estimate.iter().zip(last_release) {
+        let diff = e - r;
+        sq.add(diff * diff);
+    }
+    sq.sum() / d - round_mse
+}
+
+/// The true drift `dis* = (1/d)·Σ_k (c_t[k] − r_l[k])²` — ground truth
+/// for tests and metrics, never available to the server.
+pub fn true_dissimilarity(truth: &[f64], last_release: &[f64]) -> f64 {
+    debug_assert_eq!(truth.len(), last_release.len());
+    let d = truth.len() as f64;
+    let mut sq = KahanSum::new();
+    for (c, r) in truth.iter().zip(last_release) {
+        let diff = c - r;
+        sq.add(diff * diff);
+    }
+    sq.sum() / d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_fo::{build_oracle, FoKind};
+    use ldp_util::stats::mean;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_drift_zero_noise_gives_zero() {
+        let r = vec![0.25; 4];
+        assert_eq!(estimate_dissimilarity(&r, &r, 0.0), 0.0);
+        assert_eq!(true_dissimilarity(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn true_dissimilarity_matches_hand_value() {
+        let c = vec![0.5, 0.5];
+        let r = vec![0.3, 0.7];
+        // ((0.2)² + (−0.2)²)/2 = 0.04.
+        assert!((true_dissimilarity(&c, &r) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_subtracts_variance_correction() {
+        let est = vec![0.5, 0.5];
+        let rel = vec![0.3, 0.7];
+        let dis = estimate_dissimilarity(&est, &rel, 0.01);
+        assert!((dis - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_can_go_negative() {
+        let est = vec![0.5, 0.5];
+        let dis = estimate_dissimilarity(&est, &est, 0.02);
+        assert!(dis < 0.0);
+    }
+
+    #[test]
+    fn approximate_model_matches_avg_variance() {
+        let pq = PqPair::grr(1.0, 5);
+        let v = expected_round_mse(VarianceModel::Approximate, pq, 1000, 5, None);
+        assert!((v - cell_variance(pq, 1000, 0.2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frequency_aware_model_uses_cells() {
+        let pq = PqPair::grr(1.0, 2);
+        let freqs = vec![0.9, 0.1];
+        let v = expected_round_mse(VarianceModel::FrequencyAware, pq, 1000, 2, Some(&freqs));
+        let manual = (cell_variance(pq, 1000, 0.9) + cell_variance(pq, 1000, 0.1)) / 2.0;
+        assert!((v - manual).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frequency_aware_clamps_out_of_range_estimates() {
+        let pq = PqPair::grr(1.0, 2);
+        let freqs = vec![1.3, -0.3];
+        let v = expected_round_mse(VarianceModel::FrequencyAware, pq, 1000, 2, Some(&freqs));
+        let manual = (cell_variance(pq, 1000, 1.0) + cell_variance(pq, 1000, 0.0)) / 2.0;
+        assert!((v - manual).abs() < 1e-15);
+    }
+
+    /// Statistical check of Theorem 5.2: over many perturbation rounds,
+    /// the mean of the estimator approaches the true dissimilarity.
+    #[test]
+    fn estimator_is_unbiased_over_rounds() {
+        let d = 5;
+        let n: u64 = 20_000;
+        let eps = 1.0;
+        let oracle = build_oracle(FoKind::Grr, eps, d).unwrap();
+        let counts = vec![8000u64, 6000, 3000, 2000, 1000];
+        let truth: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        let release = vec![0.2; 5];
+        let target = true_dissimilarity(&truth, &release);
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 400;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| {
+                let support = oracle.perturb_aggregate(&counts, &mut rng);
+                let est = oracle.estimate(&support, n);
+                let mse = expected_round_mse(VarianceModel::Approximate, oracle.pq(), n, d, None);
+                estimate_dissimilarity(&est, &release, mse)
+            })
+            .collect();
+        let m = mean(&samples);
+        assert!(
+            (m - target).abs() < 0.15 * target.max(1e-4),
+            "estimator mean {m} vs true dis {target}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Error type for mechanism construction and operation.
+
+use ldp_fo::FoError;
+
+/// Errors raised by the LDP-IDS core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// ε must be finite and strictly positive.
+    InvalidEpsilon(f64),
+    /// Window size must be at least 1.
+    InvalidWindow(usize),
+    /// Domain must have at least 2 values.
+    InvalidDomain(usize),
+    /// The dissimilarity share must lie strictly inside (0, 1).
+    InvalidShare(f64),
+    /// Population must be large enough for the configured division
+    /// (population division needs at least one user per group, i.e.
+    /// `N ≥ 2w`).
+    PopulationTooSmall {
+        /// Configured population.
+        population: u64,
+        /// Minimum required by the configuration.
+        required: u64,
+    },
+    /// An underlying frequency-oracle error.
+    Oracle(FoError),
+    /// A collector was asked for more fresh users than remain available
+    /// in the window — a w-event violation caught at runtime.
+    PoolExhausted {
+        /// Fresh users the round asked for.
+        requested: u64,
+        /// Fresh users actually available in the window.
+        available: u64,
+    },
+    /// A user device's own w-event ledger refused a report request — the
+    /// request schedule would over-spend that user's window budget.
+    ClientRefused {
+        /// The refusing user's id.
+        user: u64,
+        /// Budget the request asked for.
+        requested: f64,
+        /// Budget the client's window ledger still allowed.
+        available: f64,
+    },
+    /// The stream's population changed mid-run (user churn). The
+    /// framework assumes a fixed population (paper Remark 2); churn is
+    /// surfaced as an error instead of silently mis-accounting.
+    PopulationDrift {
+        /// The fixed population the run was configured with.
+        expected: u64,
+        /// The population observed in the stream.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be finite and > 0, got {e}")
+            }
+            CoreError::InvalidWindow(w) => write!(f, "window size must be >= 1, got {w}"),
+            CoreError::InvalidDomain(d) => write!(f, "domain must have >= 2 values, got {d}"),
+            CoreError::InvalidShare(s) => {
+                write!(f, "dissimilarity share must lie in (0, 1), got {s}")
+            }
+            CoreError::PopulationTooSmall {
+                population,
+                required,
+            } => write!(
+                f,
+                "population {population} too small; population division needs >= {required}"
+            ),
+            CoreError::Oracle(e) => write!(f, "frequency oracle error: {e}"),
+            CoreError::PoolExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "user pool exhausted: requested {requested} fresh users, {available} available"
+            ),
+            CoreError::ClientRefused {
+                user,
+                requested,
+                available,
+            } => write!(
+                f,
+                "user {user} refused report: requested budget {requested}, window allows {available}"
+            ),
+            CoreError::PopulationDrift { expected, got } => write!(
+                f,
+                "population changed mid-stream ({expected} -> {got}); churn is unsupported (paper Remark 2)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Oracle(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FoError> for CoreError {
+    fn from(e: FoError) -> Self {
+        CoreError::Oracle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let variants: Vec<CoreError> = vec![
+            CoreError::InvalidEpsilon(0.0),
+            CoreError::InvalidWindow(0),
+            CoreError::InvalidDomain(1),
+            CoreError::InvalidShare(1.5),
+            CoreError::PopulationTooSmall {
+                population: 5,
+                required: 40,
+            },
+            CoreError::Oracle(FoError::DomainTooSmall(1)),
+            CoreError::PoolExhausted {
+                requested: 10,
+                available: 3,
+            },
+            CoreError::ClientRefused {
+                user: 42,
+                requested: 0.5,
+                available: 0.1,
+            },
+            CoreError::PopulationDrift {
+                expected: 100,
+                got: 90,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_error_converts() {
+        let err: CoreError = FoError::InvalidEpsilon(-1.0).into();
+        assert!(matches!(err, CoreError::Oracle(_)));
+    }
+}

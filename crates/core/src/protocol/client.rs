@@ -1,0 +1,211 @@
+//! The user-side client state machine.
+//!
+//! A client holds one user's current true value and — crucially — its own
+//! w-event budget ledger. LDP's threat model says the server is
+//! untrusted, so the *device* must be the final arbiter of its privacy
+//! spend: any request whose budget would push the client's active-window
+//! total past ε is refused, whatever the server claims.
+
+use crate::protocol::messages::{ReportRequest, UserResponse};
+use ldp_fo::{build_oracle, FoError, OracleHandle};
+use ldp_stream::RingWindow;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A device-local w-event spend ledger.
+///
+/// Unlike [`crate::BudgetLedger`], over-spend is not a panic but a
+/// *refusal* — the device simply declines to answer.
+#[derive(Debug, Clone)]
+pub struct ClientLedger {
+    epsilon: f64,
+    w: usize,
+    window: RingWindow<f64>,
+    current_step: f64,
+    tolerance: f64,
+}
+
+impl ClientLedger {
+    /// A ledger allowing `epsilon` total spend per window of `w` steps.
+    pub fn new(epsilon: f64, w: usize) -> Self {
+        ClientLedger {
+            epsilon,
+            w,
+            window: RingWindow::new(w.max(2) - 1),
+            current_step: 0.0,
+            tolerance: 1e-9 * epsilon.max(1.0),
+        }
+    }
+
+    /// Close the current timestamp and open the next.
+    pub fn advance(&mut self) {
+        if self.w > 1 {
+            self.window.push(self.current_step);
+        }
+        self.current_step = 0.0;
+    }
+
+    /// Budget still grantable at the current timestamp.
+    pub fn available(&self) -> f64 {
+        (self.epsilon - self.window.sum() - self.current_step).max(0.0)
+    }
+
+    /// Try to spend `eps`; `false` leaves the ledger untouched.
+    pub fn try_spend(&mut self, eps: f64) -> bool {
+        if eps <= self.available() + self.tolerance {
+            self.current_step += eps;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One simulated user device.
+#[derive(Debug)]
+pub struct UserClient {
+    id: u64,
+    ledger: ClientLedger,
+    /// The user's current true value (set by `observe` each timestamp).
+    value: usize,
+    rng: StdRng,
+}
+
+impl UserClient {
+    /// A client for user `id` guarding budget `epsilon` per window of
+    /// `w`, with device-local randomness derived from `seed`.
+    pub fn new(id: u64, epsilon: f64, w: usize, seed: u64) -> Self {
+        UserClient {
+            id,
+            ledger: ClientLedger::new(epsilon, w),
+            value: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// User id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Start a new timestamp with the user's fresh true value.
+    pub fn observe(&mut self, value: usize) {
+        self.ledger.advance();
+        self.value = value;
+    }
+
+    /// Budget still grantable at the current timestamp.
+    pub fn budget_available(&self) -> f64 {
+        self.ledger.available()
+    }
+
+    /// Answer a report request: perturb the current value, or refuse if
+    /// the device ledger disallows the spend.
+    ///
+    /// The caller provides the oracle (already matching the request's
+    /// parameters) so that the per-round construction cost is shared
+    /// across clients; the client still audits the *budget* itself.
+    pub fn handle(&mut self, request: &ReportRequest, oracle: &OracleHandle) -> UserResponse {
+        debug_assert_eq!(oracle.epsilon().to_bits(), request.epsilon.to_bits());
+        debug_assert_eq!(oracle.domain_size(), request.domain_size);
+        if !self.ledger.try_spend(request.epsilon) {
+            return UserResponse::Refused {
+                round: request.round,
+                requested: request.epsilon,
+                available: self.ledger.available(),
+            };
+        }
+        let report = oracle.perturb(self.value, &mut self.rng);
+        UserResponse::Report {
+            round: request.round,
+            report,
+        }
+    }
+}
+
+/// Build the oracle a request describes — used by clients (audit) and the
+/// server (estimation) alike.
+pub fn oracle_for_request(request: &ReportRequest) -> Result<OracleHandle, FoError> {
+    build_oracle(request.fo, request.epsilon, request.domain_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_fo::FoKind;
+
+    fn request(round: u64, eps: f64) -> ReportRequest {
+        ReportRequest {
+            round,
+            t: 0,
+            fo: FoKind::Grr,
+            epsilon: eps,
+            domain_size: 4,
+        }
+    }
+
+    #[test]
+    fn client_answers_within_budget() {
+        let mut c = UserClient::new(1, 1.0, 4, 99);
+        c.observe(2);
+        let req = request(0, 0.25);
+        let oracle = oracle_for_request(&req).unwrap();
+        assert!(c.handle(&req, &oracle).is_report());
+    }
+
+    #[test]
+    fn client_refuses_over_budget_requests() {
+        let mut c = UserClient::new(1, 1.0, 4, 99);
+        c.observe(2);
+        let req = request(0, 0.8);
+        let oracle = oracle_for_request(&req).unwrap();
+        assert!(c.handle(&req, &oracle).is_report());
+        // Second request in the same step exceeds ε = 1.
+        let req2 = request(1, 0.8);
+        let oracle2 = oracle_for_request(&req2).unwrap();
+        match c.handle(&req2, &oracle2) {
+            UserResponse::Refused { available, .. } => {
+                assert!(available < 0.8);
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_recovers_after_window_slides() {
+        let mut c = UserClient::new(1, 1.0, 3, 7);
+        c.observe(0);
+        let req = request(0, 1.0);
+        let oracle = oracle_for_request(&req).unwrap();
+        assert!(c.handle(&req, &oracle).is_report());
+        // Steps 2 and 3: no budget.
+        c.observe(1);
+        assert!(c.budget_available() < 1e-9);
+        c.observe(1);
+        assert!(c.budget_available() < 1e-9);
+        // Step 4: window slid past the spend.
+        c.observe(1);
+        assert!((c.budget_available() - 1.0).abs() < 1e-9);
+        assert!(c.handle(&request(1, 1.0), &oracle).is_report());
+    }
+
+    #[test]
+    fn window_of_one_replenishes_each_step() {
+        let mut c = UserClient::new(1, 0.5, 1, 7);
+        let req = request(0, 0.5);
+        let oracle = oracle_for_request(&req).unwrap();
+        for _ in 0..4 {
+            c.observe(3);
+            assert!(c.handle(&req, &oracle).is_report());
+        }
+    }
+
+    #[test]
+    fn ledger_try_spend_is_atomic() {
+        let mut l = ClientLedger::new(1.0, 2);
+        assert!(l.try_spend(0.6));
+        assert!(!l.try_spend(0.6), "refusal must not debit");
+        assert!((l.available() - 0.4).abs() < 1e-12);
+        assert!(l.try_spend(0.4));
+    }
+}

@@ -1,0 +1,279 @@
+//! [`ClientCollector`] — a [`RoundCollector`] backed by real clients.
+//!
+//! Where [`crate::AggregateCollector`] samples the mathematics, this
+//! driver runs the machinery: every collection round is a broadcast of
+//! [`crate::protocol::ReportRequest`]s, one perturbation per selected
+//! [`UserClient`], and
+//! an [`AggregationServer`] tally. Group selection for `Fresh` rounds is
+//! a uniformly random draw from a pool of user ids that recycles exactly
+//! `w` timestamps after use (Alg. 3/4 line "Recycling Users").
+//!
+//! The cost is O(reporters) per round, so this collector suits the
+//! paper's smaller configurations, the examples, and the fidelity tests
+//! that check it agrees with the aggregate collector in distribution.
+
+use crate::collector::{CollectorStats, ReportScope, RoundCollector, RoundEstimate};
+use crate::config::MechanismConfig;
+use crate::error::CoreError;
+use crate::protocol::client::UserClient;
+use crate::protocol::messages::UserResponse;
+use crate::protocol::server::AggregationServer;
+use ldp_fo::{build_oracle, FoKind, OracleHandle};
+use ldp_stream::{RingWindow, Snapshot, StreamSource};
+use ldp_util::child_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A protocol-level collector over simulated user devices.
+pub struct ClientCollector {
+    source: Box<dyn StreamSource>,
+    fo: FoKind,
+    w: usize,
+    population: u64,
+    clients: Vec<UserClient>,
+    server: AggregationServer,
+    rng: StdRng,
+    /// Ids currently outside every active window.
+    available: Vec<u32>,
+    /// Ids used in each of the last `w − 1` closed steps.
+    used_window: RingWindow<Vec<u32>>,
+    used_this_step: Vec<u32>,
+    t: u64,
+    started: bool,
+    stats: CollectorStats,
+    oracles: HashMap<u64, OracleHandle>,
+}
+
+impl ClientCollector {
+    /// A collector over `source` for `config`, with every device's
+    /// randomness derived from `seed`.
+    pub fn new(source: Box<dyn StreamSource>, config: &MechanismConfig, seed: u64) -> Self {
+        let population = source.population();
+        let clients = (0..population)
+            .map(|id| UserClient::new(id, config.epsilon, config.w, child_seed(seed, id)))
+            .collect();
+        ClientCollector {
+            source,
+            fo: config.fo,
+            w: config.w,
+            population,
+            clients,
+            server: AggregationServer::new(),
+            rng: StdRng::seed_from_u64(child_seed(seed, u64::MAX)),
+            available: (0..population as u32).collect(),
+            used_window: RingWindow::new(config.w.max(2) - 1),
+            used_this_step: Vec::new(),
+            t: 0,
+            started: false,
+            stats: CollectorStats::default(),
+            oracles: HashMap::new(),
+        }
+    }
+
+    /// Refusals observed so far (0 under any correct mechanism).
+    pub fn refusals(&self) -> u64 {
+        self.server.refusals()
+    }
+
+    fn oracle(&mut self, epsilon: f64) -> Result<OracleHandle, CoreError> {
+        let d = self.source.domain().size();
+        let key = epsilon.to_bits();
+        if let Some(hit) = self.oracles.get(&key) {
+            return Ok(hit.clone());
+        }
+        let oracle = build_oracle(self.fo, epsilon, d)?;
+        self.oracles.insert(key, oracle.clone());
+        Ok(oracle)
+    }
+
+    /// Run one round over the clients with the given ids.
+    fn run_round(&mut self, ids: &[u32], epsilon: f64) -> Result<RoundEstimate, CoreError> {
+        let oracle = self.oracle(epsilon)?;
+        let request =
+            self.server
+                .open_round(self.t.saturating_sub(1), self.fo, epsilon, oracle.clone());
+        self.stats.downlink_requests += ids.len() as u64;
+        for &id in ids {
+            let response = self.clients[id as usize].handle(&request, &oracle);
+            if let UserResponse::Refused {
+                requested,
+                available,
+                ..
+            } = response
+            {
+                // Tally it server-side for observability, then abort the
+                // round: a refusal means the request schedule is broken.
+                self.server.submit(&response);
+                self.server.close_round();
+                return Err(CoreError::ClientRefused {
+                    user: id as u64,
+                    requested,
+                    available,
+                });
+            }
+            self.stats.uplink_reports += 1;
+            self.stats.uplink_bytes += response.wire_size() as u64;
+            self.server.submit(&response);
+        }
+        Ok(self.server.close_round())
+    }
+}
+
+impl RoundCollector for ClientCollector {
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn domain_size(&self) -> usize {
+        self.source.domain().size()
+    }
+
+    fn begin_step(&mut self) -> Result<(), CoreError> {
+        if self.started {
+            // Close the previous step: its used ids start their w-step
+            // cool-down (none needed when w = 1).
+            if self.w > 1 {
+                let used = std::mem::take(&mut self.used_this_step);
+                if let Some(recycled) = self.used_window.push(used) {
+                    self.available.extend(recycled);
+                }
+            } else {
+                self.available.append(&mut self.used_this_step);
+            }
+        }
+        self.started = true;
+        let hist = self.source.next_histogram();
+        if hist.population() != self.population {
+            return Err(CoreError::PopulationDrift {
+                expected: self.population,
+                got: hist.population(),
+            });
+        }
+        let snapshot = Snapshot::from_histogram(&hist, &mut self.rng);
+        for (j, client) in self.clients.iter_mut().enumerate() {
+            client.observe(snapshot.value(j));
+        }
+        self.t += 1;
+        self.stats.steps += 1;
+        Ok(())
+    }
+
+    fn collect(&mut self, scope: ReportScope, epsilon: f64) -> Result<RoundEstimate, CoreError> {
+        assert!(self.started, "collect called before begin_step");
+        match scope {
+            ReportScope::All => {
+                let ids: Vec<u32> = (0..self.population as u32).collect();
+                self.run_round(&ids, epsilon)
+            }
+            ReportScope::Fresh(k) => {
+                let k_usize = k as usize;
+                if k_usize > self.available.len() {
+                    return Err(CoreError::PoolExhausted {
+                        requested: k,
+                        available: self.available.len() as u64,
+                    });
+                }
+                // Partial Fisher–Yates: move a uniform k-subset to the
+                // front, then split it off.
+                for i in 0..k_usize {
+                    let j = self.rng.gen_range(i..self.available.len());
+                    self.available.swap(i, j);
+                }
+                let rest = self.available.split_off(k_usize);
+                let chosen = std::mem::replace(&mut self.available, rest);
+                let result = self.run_round(&chosen, epsilon);
+                self.used_this_step.extend(&chosen);
+                result
+            }
+        }
+    }
+
+    fn stats(&self) -> CollectorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_stream::source::ConstantSource;
+    use ldp_stream::TrueHistogram;
+
+    fn collector(w: usize, counts: Vec<u64>, eps: f64) -> ClientCollector {
+        let source = ConstantSource::new(TrueHistogram::new(counts));
+        let config = MechanismConfig::new(eps, w, source.domain().size(), source.population());
+        ClientCollector::new(Box::new(source), &config, 101)
+    }
+
+    #[test]
+    fn all_scope_collects_every_client() {
+        let mut c = collector(4, vec![700, 300], 1.0);
+        c.begin_step().unwrap();
+        let est = c.collect(ReportScope::All, 0.25).unwrap();
+        assert_eq!(est.reporters, 1000);
+        assert_eq!(c.stats().uplink_reports, 1000);
+        assert_eq!(c.stats().downlink_requests, 1000);
+        assert_eq!(c.refusals(), 0);
+    }
+
+    #[test]
+    fn fresh_scope_respects_pool() {
+        let mut c = collector(3, vec![700, 300], 1.0);
+        c.begin_step().unwrap();
+        c.collect(ReportScope::Fresh(600), 1.0).unwrap();
+        c.begin_step().unwrap();
+        let err = c.collect(ReportScope::Fresh(600), 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PoolExhausted { available: 400, .. }
+        ));
+        c.collect(ReportScope::Fresh(400), 1.0).unwrap();
+        // Step 3: nothing available; step 4: the 600 recycle.
+        c.begin_step().unwrap();
+        assert!(c.collect(ReportScope::Fresh(1), 1.0).is_err());
+        c.begin_step().unwrap();
+        c.collect(ReportScope::Fresh(600), 1.0).unwrap();
+    }
+
+    #[test]
+    fn estimates_track_truth() {
+        let mut c = collector(2, vec![16_000, 4_000], 4.0);
+        c.begin_step().unwrap();
+        let est = c.collect(ReportScope::All, 4.0).unwrap();
+        assert!((est.frequencies[0] - 0.8).abs() < 0.05, "{est:?}");
+    }
+
+    #[test]
+    fn over_budget_schedule_is_refused_not_leaked() {
+        // ε = 1 per window of 2; requesting 0.8 twice in one step is a
+        // broken schedule. The clients refuse and the driver errors.
+        let mut c = collector(2, vec![500, 500], 1.0);
+        c.begin_step().unwrap();
+        c.collect(ReportScope::All, 0.8).unwrap();
+        let err = c.collect(ReportScope::All, 0.8).unwrap_err();
+        assert!(matches!(err, CoreError::ClientRefused { .. }));
+        assert!(c.refusals() > 0);
+    }
+
+    #[test]
+    fn fresh_groups_are_disjoint_within_window() {
+        let mut c = collector(2, vec![50, 50], 1.0);
+        c.begin_step().unwrap();
+        c.collect(ReportScope::Fresh(60), 1.0).unwrap();
+        let remaining = c.available.len();
+        assert_eq!(remaining, 40);
+        // The same step's second group must come from the remaining 40.
+        c.collect(ReportScope::Fresh(40), 1.0).unwrap();
+        assert!(c.available.is_empty());
+    }
+
+    #[test]
+    fn window_of_one_recycles_immediately() {
+        let mut c = collector(1, vec![500, 500], 1.0);
+        for _ in 0..3 {
+            c.begin_step().unwrap();
+            c.collect(ReportScope::Fresh(1000), 1.0).unwrap();
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Derived query answers over released streams (paper §4, footnote 2).
+//!
+//! The paper releases frequency histograms and notes that "other
+//! aggregate analyses, such as count and mean estimation, can be
+//! applicable, as the query type is orthogonal to the streaming data
+//! setting". This module is that orthogonal layer: deterministic
+//! post-processing of a released histogram stream into
+//!
+//! * per-cell **count** estimates (`f̂ · N`),
+//! * **mean/variance** estimates over an ordinal domain (each cell is a
+//!   bucket with a representative numeric value),
+//! * **heavy hitters** (top-k cells per timestamp),
+//! * **range queries** (total frequency mass over a cell interval).
+//!
+//! All of it is post-processing of ε-LDP output: free by the
+//! post-processing theorem, and unbiased whenever the input estimates
+//! are (count/mean/range are linear in the frequencies).
+
+/// An ordinal interpretation of the categorical domain: cell `k` stands
+/// for the numeric value `values[k]` (e.g. bucket midpoints of a
+/// discretized sensor reading).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdinalDomain {
+    values: Vec<f64>,
+}
+
+impl OrdinalDomain {
+    /// A domain where cell `k` represents `values[k]`.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(values.len() >= 2, "ordinal domain needs at least 2 cells");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "cell values must be finite"
+        );
+        OrdinalDomain { values }
+    }
+
+    /// Evenly spaced bucket midpoints covering `[lo, hi]` with `d` cells.
+    pub fn buckets(lo: f64, hi: f64, d: usize) -> Self {
+        assert!(d >= 2 && hi > lo);
+        let width = (hi - lo) / d as f64;
+        OrdinalDomain::new((0..d).map(|k| lo + width * (k as f64 + 0.5)).collect())
+    }
+
+    /// Cell count `d`.
+    pub fn size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The numeric value of cell `k`.
+    pub fn value(&self, k: usize) -> f64 {
+        self.values[k]
+    }
+
+    /// Estimated population mean from a frequency histogram.
+    pub fn mean(&self, frequencies: &[f64]) -> f64 {
+        debug_assert_eq!(frequencies.len(), self.values.len());
+        frequencies
+            .iter()
+            .zip(&self.values)
+            .map(|(f, v)| f * v)
+            .sum()
+    }
+
+    /// Estimated population variance from a frequency histogram
+    /// (plug-in `Σ f_k (v_k − mean)²`, clamping negative estimated
+    /// frequencies at zero mass).
+    pub fn variance(&self, frequencies: &[f64]) -> f64 {
+        let m = self.mean(frequencies);
+        frequencies
+            .iter()
+            .zip(&self.values)
+            .map(|(f, v)| f.max(0.0) * (v - m) * (v - m))
+            .sum()
+    }
+}
+
+/// Per-cell count estimates: `f̂_k · N` for every timestamp.
+pub fn count_series(released: &[Vec<f64>], population: u64) -> Vec<Vec<f64>> {
+    released
+        .iter()
+        .map(|row| row.iter().map(|f| f * population as f64).collect())
+        .collect()
+}
+
+/// Mean estimate at every timestamp under an ordinal domain.
+pub fn mean_series(released: &[Vec<f64>], domain: &OrdinalDomain) -> Vec<f64> {
+    released.iter().map(|row| domain.mean(row)).collect()
+}
+
+/// The `k` cells with the largest estimated frequency, largest first;
+/// ties broken by cell index for determinism.
+pub fn heavy_hitters(frequencies: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..frequencies.len()).collect();
+    order.sort_by(|&a, &b| {
+        frequencies[b]
+            .partial_cmp(&frequencies[a])
+            .expect("frequencies must not be NaN")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+/// Total estimated frequency mass over the cell range `[lo, hi]`
+/// (inclusive) — a 1-D range query over the ordinal domain.
+pub fn range_mass(frequencies: &[f64], lo: usize, hi: usize) -> f64 {
+    assert!(lo <= hi && hi < frequencies.len(), "invalid range");
+    frequencies[lo..=hi].iter().sum()
+}
+
+/// Precision@k of estimated heavy hitters against the true ones:
+/// `|est ∩ true| / k`.
+pub fn topk_precision(estimated: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert!(k >= 1);
+    let est: std::collections::HashSet<usize> = heavy_hitters(estimated, k).into_iter().collect();
+    let tru = heavy_hitters(truth, k);
+    let hits = tru.iter().filter(|t| est.contains(t)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scale_frequencies() {
+        let released = vec![vec![0.25, 0.75]];
+        let counts = count_series(&released, 1000);
+        assert_eq!(counts, vec![vec![250.0, 750.0]]);
+    }
+
+    #[test]
+    fn bucket_domain_midpoints() {
+        let d = OrdinalDomain::buckets(0.0, 10.0, 5);
+        assert_eq!(d.size(), 5);
+        assert!((d.value(0) - 1.0).abs() < 1e-12);
+        assert!((d.value(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_linear_in_frequencies() {
+        let d = OrdinalDomain::new(vec![0.0, 10.0]);
+        assert!((d.mean(&[0.5, 0.5]) - 5.0).abs() < 1e-12);
+        assert!((d.mean(&[0.9, 0.1]) - 1.0).abs() < 1e-12);
+        // Works on unprojected (negative-cell) LDP estimates too.
+        assert!((d.mean(&[-0.1, 1.1]) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_point_mass_is_zero() {
+        let d = OrdinalDomain::new(vec![2.0, 4.0, 8.0]);
+        assert!(d.variance(&[0.0, 1.0, 0.0]).abs() < 1e-12);
+        // Uniform over {2, 8}: mean 5, variance 9.
+        assert!((d.variance(&[0.5, 0.0, 0.5]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_series_maps_rows() {
+        let d = OrdinalDomain::new(vec![0.0, 1.0]);
+        let series = mean_series(&[vec![1.0, 0.0], vec![0.0, 1.0]], &d);
+        assert_eq!(series, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_and_deterministic() {
+        let f = [0.1, 0.4, 0.1, 0.4];
+        // Ties (cells 1 and 3; 0 and 2) break by index.
+        assert_eq!(heavy_hitters(&f, 3), vec![1, 3, 0]);
+        assert_eq!(heavy_hitters(&f, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn range_mass_sums_interval() {
+        let f = [0.1, 0.2, 0.3, 0.4];
+        assert!((range_mass(&f, 1, 2) - 0.5).abs() < 1e-12);
+        assert!((range_mass(&f, 0, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn range_mass_rejects_bad_bounds() {
+        range_mass(&[0.5, 0.5], 1, 2);
+    }
+
+    #[test]
+    fn precision_at_k() {
+        let truth = [0.5, 0.3, 0.1, 0.1];
+        let perfect = [0.6, 0.2, 0.1, 0.1];
+        assert_eq!(topk_precision(&perfect, &truth, 2), 1.0);
+        let inverted = [0.1, 0.1, 0.3, 0.5];
+        assert_eq!(topk_precision(&inverted, &truth, 2), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_mean_estimation_under_ldp() {
+        // The footnote-2 claim in action: run LPU on an ordinal stream
+        // and check the derived mean tracks the true mean.
+        use crate::runner::{run_on_source, CollectorMode};
+        use crate::{MechanismConfig, MechanismKind};
+        use ldp_stream::source::ConstantSource;
+        use ldp_stream::TrueHistogram;
+
+        let n = 200_000u64;
+        // 4 buckets of a sensor in [0, 40]; mass concentrated low.
+        let counts = vec![n / 2, n / 4, n / 8, n - n / 2 - n / 4 - n / 8];
+        let truth_hist = TrueHistogram::new(counts);
+        let domain = OrdinalDomain::buckets(0.0, 40.0, 4);
+        let true_mean = domain.mean(&truth_hist.frequencies());
+
+        let config = MechanismConfig::new(2.0, 4, 4, n);
+        let mut mech = MechanismKind::Lpu.build(&config).unwrap();
+        let result = run_on_source(
+            mech.as_mut(),
+            Box::new(ConstantSource::new(truth_hist)),
+            16,
+            CollectorMode::Aggregate,
+            3,
+        )
+        .unwrap();
+        let means = mean_series(&result.frequency_matrix(), &domain);
+        let avg = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(
+            (avg - true_mean).abs() < 1.0,
+            "derived mean {avg} vs true {true_mean}"
+        );
+    }
+}

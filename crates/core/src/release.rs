@@ -1,0 +1,100 @@
+//! Per-timestamp release records.
+
+use serde::{Deserialize, Serialize};
+
+/// How the release at a timestamp was produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseKind {
+    /// A fresh publication from a perturbation round.
+    Published {
+        /// Budget each reporting user spent in the publication round.
+        epsilon: f64,
+        /// Number of users who reported in the publication round.
+        reporters: u64,
+    },
+    /// The previous release was re-published (approximation strategy).
+    Approximated,
+    /// The timestamp fell in a nullified stretch (LBA/LPA absorption
+    /// bookkeeping); the previous release was re-published.
+    Nullified,
+}
+
+impl ReleaseKind {
+    /// Whether a fresh publication happened.
+    pub fn is_publication(&self) -> bool {
+        matches!(self, ReleaseKind::Published { .. })
+    }
+}
+
+/// The server's output at one timestamp: the estimated frequency
+/// histogram `r_t` plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Release {
+    /// Timestamp (0-based step index).
+    pub t: u64,
+    /// Estimated frequencies `⟨r_t[0], …, r_t[d−1]⟩`.
+    pub frequencies: Vec<f64>,
+    /// Provenance.
+    pub kind: ReleaseKind,
+}
+
+impl Release {
+    /// A fresh publication.
+    pub fn published(t: u64, frequencies: Vec<f64>, epsilon: f64, reporters: u64) -> Self {
+        Release {
+            t,
+            frequencies,
+            kind: ReleaseKind::Published { epsilon, reporters },
+        }
+    }
+
+    /// An approximation re-publishing `previous`.
+    pub fn approximated(t: u64, previous: Vec<f64>) -> Self {
+        Release {
+            t,
+            frequencies: previous,
+            kind: ReleaseKind::Approximated,
+        }
+    }
+
+    /// A nullified timestamp re-publishing `previous`.
+    pub fn nullified(t: u64, previous: Vec<f64>) -> Self {
+        Release {
+            t,
+            frequencies: previous,
+            kind: ReleaseKind::Nullified,
+        }
+    }
+}
+
+/// Count the publications in a release sequence.
+pub fn count_publications(releases: &[Release]) -> u64 {
+    releases.iter().filter(|r| r.kind.is_publication()).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let p = Release::published(3, vec![0.5, 0.5], 1.0, 100);
+        assert!(p.kind.is_publication());
+        assert_eq!(p.t, 3);
+        let a = Release::approximated(4, vec![0.5, 0.5]);
+        assert!(!a.kind.is_publication());
+        let n = Release::nullified(5, vec![0.5, 0.5]);
+        assert_eq!(n.kind, ReleaseKind::Nullified);
+    }
+
+    #[test]
+    fn publication_counting() {
+        let rs = vec![
+            Release::published(0, vec![1.0, 0.0], 1.0, 10),
+            Release::approximated(1, vec![1.0, 0.0]),
+            Release::nullified(2, vec![1.0, 0.0]),
+            Release::published(3, vec![0.9, 0.1], 0.5, 5),
+        ];
+        assert_eq!(count_publications(&rs), 2);
+    }
+}

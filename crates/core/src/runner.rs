@@ -1,0 +1,210 @@
+//! End-to-end run helpers: mechanism × stream → releases + accounting.
+
+use crate::collector::{AggregateCollector, CollectorStats, RoundCollector};
+use crate::error::CoreError;
+use crate::protocol::ClientCollector;
+use crate::release::{count_publications, Release};
+use crate::traits::StreamMechanism;
+use ldp_stream::{MaterializedStream, StreamSource};
+use serde::{Deserialize, Serialize};
+
+/// Which collector backs the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectorMode {
+    /// Exact aggregate-distribution sampling — the default for
+    /// experiment grids (fast at any population).
+    Aggregate,
+    /// Full per-user protocol simulation — examples, fidelity tests,
+    /// message-level accounting.
+    Client,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The released estimate at every timestamp.
+    pub releases: Vec<Release>,
+    /// Fresh publications among them.
+    pub publications: u64,
+    /// Communication frequency per user per timestamp (paper §5.4.3).
+    pub cfpu: f64,
+    /// Raw collector counters.
+    pub stats: RunStats,
+}
+
+/// Serializable mirror of [`CollectorStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// User → server report messages.
+    pub uplink_reports: u64,
+    /// Bytes of those reports.
+    pub uplink_bytes: u64,
+    /// Server → user requests (client mode only).
+    pub downlink_requests: u64,
+    /// Timestamps processed.
+    pub steps: u64,
+}
+
+impl From<CollectorStats> for RunStats {
+    fn from(s: CollectorStats) -> Self {
+        RunStats {
+            uplink_reports: s.uplink_reports,
+            uplink_bytes: s.uplink_bytes,
+            downlink_requests: s.downlink_requests,
+            steps: s.steps,
+        }
+    }
+}
+
+impl RunResult {
+    /// The released frequency matrix (`T × d`).
+    pub fn frequency_matrix(&self) -> Vec<Vec<f64>> {
+        self.releases
+            .iter()
+            .map(|r| r.frequencies.clone())
+            .collect()
+    }
+}
+
+/// Drive `mechanism` over `steps` timestamps pulled from `collector`.
+pub fn run_with_collector(
+    mechanism: &mut dyn StreamMechanism,
+    collector: &mut dyn RoundCollector,
+    steps: usize,
+) -> Result<RunResult, CoreError> {
+    let population = collector.population();
+    let mut releases = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        collector.begin_step()?;
+        releases.push(mechanism.step(collector)?);
+    }
+    let stats = collector.stats();
+    Ok(RunResult {
+        publications: count_publications(&releases),
+        cfpu: stats.cfpu(population),
+        stats: stats.into(),
+        releases,
+    })
+}
+
+/// Run `mechanism` over a live source for `steps` timestamps.
+pub fn run_on_source(
+    mechanism: &mut dyn StreamMechanism,
+    source: Box<dyn StreamSource>,
+    steps: usize,
+    mode: CollectorMode,
+    seed: u64,
+) -> Result<RunResult, CoreError> {
+    let config = mechanism.config().clone();
+    match mode {
+        CollectorMode::Aggregate => {
+            let mut collector = AggregateCollector::new(source, &config, seed);
+            run_with_collector(mechanism, &mut collector, steps)
+        }
+        CollectorMode::Client => {
+            let mut collector = ClientCollector::new(source, &config, seed);
+            run_with_collector(mechanism, &mut collector, steps)
+        }
+    }
+}
+
+/// Run `mechanism` over a materialized stream (replaying its full
+/// length), panicking on mechanism errors — the convenience entry point
+/// used by examples and the bench harness.
+pub fn run_on_materialized(
+    mechanism: &mut dyn StreamMechanism,
+    stream: &MaterializedStream,
+    mode: CollectorMode,
+    seed: u64,
+) -> RunResult {
+    run_on_source(
+        mechanism,
+        Box::new(stream.replay()),
+        stream.len(),
+        mode,
+        seed,
+    )
+    .unwrap_or_else(|e| panic!("{} failed on {}: {e}", mechanism.name(), stream.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MechanismConfig;
+    use crate::traits::MechanismKind;
+    use ldp_stream::Dataset;
+
+    fn small_sin(n: u64, len: usize) -> MaterializedStream {
+        let dataset = Dataset::Sin {
+            population: n,
+            len,
+            a: 0.05,
+            b: 0.05,
+            h: 0.075,
+        };
+        MaterializedStream::from_dataset(&dataset, 5)
+    }
+
+    #[test]
+    fn all_mechanisms_run_aggregate() {
+        let stream = small_sin(4000, 30);
+        let config = MechanismConfig::new(1.0, 10, 2, 4000);
+        for kind in MechanismKind::ALL {
+            let mut mech = kind.build(&config).unwrap();
+            let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Aggregate, 1);
+            assert_eq!(result.releases.len(), 30, "{kind}");
+            assert_eq!(result.stats.steps, 30, "{kind}");
+            assert_eq!(result.publications, mech.publications(), "{kind}");
+            for (t, r) in result.releases.iter().enumerate() {
+                assert_eq!(r.t, t as u64, "{kind}");
+                assert_eq!(r.frequencies.len(), 2, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_mechanisms_run_client() {
+        let stream = small_sin(800, 12);
+        let config = MechanismConfig::new(1.0, 4, 2, 800);
+        for kind in MechanismKind::ALL {
+            let mut mech = kind.build(&config).unwrap();
+            let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Client, 2);
+            assert_eq!(result.releases.len(), 12, "{kind}");
+            assert!(result.cfpu > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn population_division_cuts_cfpu() {
+        let stream = small_sin(4000, 40);
+        let config = MechanismConfig::new(1.0, 10, 2, 4000);
+        let mut lbu = MechanismKind::Lbu.build(&config).unwrap();
+        let mut lpu = MechanismKind::Lpu.build(&config).unwrap();
+        let budget = run_on_materialized(lbu.as_mut(), &stream, CollectorMode::Aggregate, 3);
+        let pop = run_on_materialized(lpu.as_mut(), &stream, CollectorMode::Aggregate, 3);
+        assert!((budget.cfpu - 1.0).abs() < 1e-12);
+        assert!((pop.cfpu - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_matrix_shape() {
+        let stream = small_sin(2000, 15);
+        let config = MechanismConfig::new(1.0, 5, 2, 2000);
+        let mut mech = MechanismKind::Lpa.build(&config).unwrap();
+        let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Aggregate, 4);
+        let m = result.frequency_matrix();
+        assert_eq!(m.len(), 15);
+        assert!(m.iter().all(|row| row.len() == 2));
+    }
+
+    #[test]
+    fn run_result_serializes() {
+        let stream = small_sin(1000, 8);
+        let config = MechanismConfig::new(1.0, 4, 2, 1000);
+        let mut mech = MechanismKind::Lsp.build(&config).unwrap();
+        let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Aggregate, 5);
+        let json = serde_json::to_string(&result).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

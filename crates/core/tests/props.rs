@@ -1,0 +1,122 @@
+//! Property tests for core invariants: post-processing, smoothing,
+//! dissimilarity algebra and the closed-form analysis.
+
+use ldp_ids::analysis;
+use ldp_ids::dissimilarity::{estimate_dissimilarity, true_dissimilarity};
+use ldp_ids::postprocess::norm_sub;
+use ldp_ids::release::Release;
+use ldp_ids::smoothing::KalmanSmoother;
+use ldp_ids::MechanismConfig;
+use proptest::prelude::*;
+
+fn assert_simplex(v: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{v:?}");
+    for &x in v {
+        prop_assert!(x >= 0.0, "{v:?}");
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Norm-Sub always lands on the probability simplex.
+    #[test]
+    fn norm_sub_outputs_simplex(v in proptest::collection::vec(-2.0f64..3.0, 2..20)) {
+        let p = norm_sub(&v);
+        assert_simplex(&p)?;
+    }
+
+    /// Norm-Sub is idempotent.
+    #[test]
+    fn norm_sub_idempotent(v in proptest::collection::vec(-2.0f64..3.0, 2..20)) {
+        let once = norm_sub(&v);
+        let twice = norm_sub(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-7, "{once:?} vs {twice:?}");
+        }
+    }
+
+    /// Norm-Sub fixes valid distributions exactly.
+    #[test]
+    fn norm_sub_fixes_valid_inputs(raw in proptest::collection::vec(0.01f64..1.0, 2..12)) {
+        let total: f64 = raw.iter().sum();
+        let valid: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let projected = norm_sub(&valid);
+        for (a, b) in valid.iter().zip(&projected) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The dissimilarity estimator is exactly the quadratic distance
+    /// minus the correction, and the true dissimilarity is symmetric
+    /// and zero iff equal.
+    #[test]
+    fn dissimilarity_algebra(
+        a in proptest::collection::vec(0.0f64..1.0, 2..10),
+        shift in 0.0f64..0.5,
+        mse in 0.0f64..0.1,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let dis_true = true_dissimilarity(&a, &b);
+        prop_assert!((dis_true - shift * shift).abs() < 1e-10);
+        prop_assert!((true_dissimilarity(&b, &a) - dis_true).abs() < 1e-12, "symmetry");
+        let est = estimate_dissimilarity(&a, &b, mse);
+        prop_assert!((est - (dis_true - mse)).abs() < 1e-10);
+    }
+
+    /// Kalman smoothing: output has the input length, every value is
+    /// finite, and with zero process noise the state is a convex
+    /// combination of past measurements (stays in their hull).
+    #[test]
+    fn kalman_stays_in_measurement_hull(
+        measurements in proptest::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let config = MechanismConfig::new(1.0, 5, 2, 10_000);
+        let releases: Vec<Release> = measurements
+            .iter()
+            .enumerate()
+            .map(|(t, &f)| Release::published(t as u64, vec![f, 1.0 - f], 1.0, 10_000))
+            .collect();
+        let out = KalmanSmoother::new(0.0).smooth(&releases, &config);
+        prop_assert_eq!(out.len(), releases.len());
+        let lo = measurements.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = measurements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for row in &out {
+            prop_assert!(row[0].is_finite());
+            prop_assert!(row[0] >= lo - 1e-9 && row[0] <= hi + 1e-9,
+                "state {} outside hull [{lo}, {hi}]", row[0]);
+        }
+    }
+
+    /// Theorem 6.1 as a property: V(ε, N/w) < V(ε/w, N) over the whole
+    /// parameter box.
+    #[test]
+    fn population_always_beats_budget(
+        eps in 0.05f64..5.0,
+        w in 2usize..60,
+        d in 2usize..120,
+        n in 1_000u64..2_000_000,
+    ) {
+        let config = MechanismConfig::new(eps, w, d, n);
+        prop_assert!(analysis::mse_lpu(&config) < analysis::mse_lbu(&config));
+    }
+
+    /// The closed-form publication variances are monotone in m for the
+    /// distribution variants (more publications, less resource each).
+    #[test]
+    fn distribution_variance_grows_with_m(
+        eps in 0.2f64..3.0,
+        w in 2usize..40,
+    ) {
+        let config = MechanismConfig::new(eps, w, 4, 1_000_000);
+        let mut prev_budget = 0.0;
+        let mut prev_pop = 0.0;
+        for m in 1..=6u32 {
+            let b = analysis::publication_variance_lbd(&config, m);
+            let p = analysis::publication_variance_lpd(&config, m);
+            prop_assert!(b > prev_budget);
+            prop_assert!(p > prev_pop);
+            prev_budget = b;
+            prev_pop = p;
+        }
+    }
+}

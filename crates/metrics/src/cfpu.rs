@@ -1,0 +1,92 @@
+//! Closed-form CFPU (communication frequency per user) expressions.
+//!
+//! §5.4.3 and §6.3.3 derive the expected per-user communication rate of
+//! every mechanism as a function of the window size `w` and the number of
+//! publications `m` in a window. The bench harness compares these against
+//! the measured `uplink_reports / (N · T)` of each run; agreement is a
+//! strong end-to-end check that the mechanisms issue exactly the rounds
+//! the paper prescribes.
+
+/// LBU: every user reports once per timestamp.
+pub fn cfpu_lbu() -> f64 {
+    1.0
+}
+
+/// LBD/LBA: one dissimilarity report per timestamp plus one publication
+/// report on the `m` publication timestamps of a `w`-window:
+/// `(2m + (w − m))/w = 1 + m/w`.
+pub fn cfpu_lba_lbd(m: u64, w: usize) -> f64 {
+    assert!(w >= 1);
+    1.0 + m as f64 / w as f64
+}
+
+/// LSP and LPU: every user reports exactly once per window.
+pub fn cfpu_lpu_lsp(w: usize) -> f64 {
+    assert!(w >= 1);
+    1.0 / w as f64
+}
+
+/// LPD with `m` publications per window:
+/// `1/w − 1/(w·2^{m+1})` (§6.3.3).
+pub fn cfpu_lpd(m: u64, w: usize) -> f64 {
+    assert!(w >= 1);
+    1.0 / w as f64 - 1.0 / (w as f64 * 2f64.powi(m as i32 + 1))
+}
+
+/// LPA with `m` publications per window:
+/// `1/(2w) + (w + m)/(4w²)` (§6.3.3).
+pub fn cfpu_lpa(m: u64, w: usize) -> f64 {
+    assert!(w >= 1);
+    let wf = w as f64;
+    1.0 / (2.0 * wf) + (wf + m as f64) / (4.0 * wf * wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbu_is_one() {
+        assert_eq!(cfpu_lbu(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_budget_matches_paper_examples() {
+        // Table 2 regime: w = 20, LBD ≈ 1.27 ⇒ m ≈ 5.4 publications.
+        assert!((cfpu_lba_lbd(5, 20) - 1.25).abs() < 1e-12);
+        assert!((cfpu_lba_lbd(0, 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_methods_stay_below_inverse_w() {
+        for w in [10usize, 20, 50] {
+            for m in 0..w as u64 {
+                assert!(cfpu_lpd(m, w) < 1.0 / w as f64);
+                assert!(cfpu_lpa(m, w) <= 1.0 / w as f64 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lpd_approaches_inverse_w_with_many_publications() {
+        let w = 20;
+        assert!(cfpu_lpd(30, w) > 0.0499);
+        assert!((cfpu_lpu_lsp(w) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpa_zero_publications_matches_half_plus_quarter() {
+        // m = 0: 1/(2w) + w/(4w²) = 1/(2w) + 1/(4w) = 3/(4w).
+        let w = 20;
+        assert!((cfpu_lpa(0, w) - 0.75 / w as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_regime_orderings() {
+        // Paper Table 2 (ε = 1, w = 20): LPA ≈ 0.040 < LPD ≈ 0.046 < LPU = 0.05.
+        let lpd = cfpu_lpd(4, 20);
+        let lpa = cfpu_lpa(2, 20);
+        let lpu = cfpu_lpu_lsp(20);
+        assert!(lpa < lpd && lpd < lpu, "{lpa} {lpd} {lpu}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Stream-utility error metrics.
+//!
+//! The paper reports **MRE** (mean relative error) between the released
+//! stream `R = (r_1, …, r_T)` and the true stream `C = (c_1, …, c_T)`,
+//! following Kellaris et al.: the relative error of a cell is
+//! `|r_t[k] − c_t[k]| / max(c_t[k], γ)`, with a sanity floor γ that stops
+//! empty cells from dividing by zero; errors are averaged over cells,
+//! then over time.
+
+use ldp_util::KahanSum;
+use serde::{Deserialize, Serialize};
+
+/// The default MRE sanity floor: 0.1% on the frequency scale (Kellaris
+/// et al. use 0.1% of the population for count histograms).
+pub const DEFAULT_MRE_FLOOR: f64 = 0.001;
+
+/// Mean relative error over the stream with the sanity floor `gamma`.
+///
+/// # Panics
+/// If the two streams disagree in shape or are empty.
+pub fn mre(released: &[Vec<f64>], truth: &[Vec<f64>], gamma: f64) -> f64 {
+    per_step_fold(released, truth, |r, c| (r - c).abs() / c.max(gamma))
+}
+
+/// Mean absolute error over the stream.
+pub fn mae(released: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    per_step_fold(released, truth, |r, c| (r - c).abs())
+}
+
+/// Mean square error over the stream.
+pub fn mse(released: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    per_step_fold(released, truth, |r, c| (r - c) * (r - c))
+}
+
+fn per_step_fold(released: &[Vec<f64>], truth: &[Vec<f64>], cell: impl Fn(f64, f64) -> f64) -> f64 {
+    assert_eq!(
+        released.len(),
+        truth.len(),
+        "released and true streams must have equal length"
+    );
+    assert!(!released.is_empty(), "streams must be non-empty");
+    let mut acc = KahanSum::new();
+    for (r_t, c_t) in released.iter().zip(truth) {
+        assert_eq!(r_t.len(), c_t.len(), "histogram widths must agree");
+        let mut step = KahanSum::new();
+        for (&r, &c) in r_t.iter().zip(c_t) {
+            step.add(cell(r, c));
+        }
+        acc.add(step.sum() / r_t.len() as f64);
+    }
+    acc.sum() / released.len() as f64
+}
+
+/// All three error metrics of one run, as one serializable record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamError {
+    /// Mean relative error (paper's headline metric).
+    pub mre: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean square error (the quantity the utility analysis bounds).
+    pub mse: f64,
+}
+
+impl StreamError {
+    /// Compute all three metrics with the default MRE floor.
+    pub fn compute(released: &[Vec<f64>], truth: &[Vec<f64>]) -> Self {
+        StreamError {
+            mre: mre(released, truth, DEFAULT_MRE_FLOOR),
+            mae: mae(released, truth),
+            mse: mse(released, truth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Vec<Vec<f64>> {
+        vec![vec![0.5, 0.5], vec![0.8, 0.2]]
+    }
+
+    #[test]
+    fn perfect_release_has_zero_error() {
+        let t = truth();
+        assert_eq!(mre(&t, &t, DEFAULT_MRE_FLOOR), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(mse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn mre_matches_hand_computation() {
+        let t = vec![vec![0.5, 0.5]];
+        let r = vec![vec![0.6, 0.4]];
+        // Both cells: |0.1|/0.5 = 0.2.
+        assert!((mre(&r, &t, DEFAULT_MRE_FLOOR) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_floor_guards_zero_cells() {
+        let t = vec![vec![0.0, 1.0]];
+        let r = vec![vec![0.001, 0.999]];
+        // Cell 0: 0.001/max(0, γ) = 1.0; cell 1: 0.001/1.0.
+        let v = mre(&r, &t, DEFAULT_MRE_FLOOR);
+        assert!((v - (1.0 + 0.001) / 2.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn mae_and_mse_match_hand_computation() {
+        let t = vec![vec![0.5, 0.5]];
+        let r = vec![vec![0.7, 0.3]];
+        assert!((mae(&r, &t) - 0.2).abs() < 1e-12);
+        assert!((mse(&r, &t) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_average_over_time() {
+        let t = vec![vec![0.5, 0.5], vec![0.5, 0.5]];
+        let r = vec![vec![0.5, 0.5], vec![0.7, 0.3]];
+        assert!((mae(&r, &t) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bundles_all_metrics() {
+        let t = truth();
+        let e = StreamError::compute(&t, &t);
+        assert_eq!(e.mre, 0.0);
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.mse, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        mae(&truth(), &truth()[..1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_streams_panic() {
+        mae(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths")]
+    fn width_mismatch_panics() {
+        let t = vec![vec![0.5, 0.5]];
+        let r = vec![vec![0.5, 0.3, 0.2]];
+        mae(&r, &t);
+    }
+}

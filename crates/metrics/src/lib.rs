@@ -1,0 +1,28 @@
+//! Evaluation metrics for LDP-IDS (paper §7.1.4).
+//!
+//! Three lenses onto a released stream:
+//!
+//! * **utility** — [`error`]: MRE (the paper's headline metric), MAE and
+//!   MSE between the released and true frequency streams;
+//! * **event monitoring** — [`roc`]: ROC curves and AUC for the
+//!   above-threshold detection task of §7.4 / Fig. 7;
+//! * **communication** — [`cfpu`]: the closed-form CFPU expressions of
+//!   §5.4.3 and §6.3.3, for checking measured traffic against theory.
+//!
+//! [`series`] and [`table`] are the presentation layer the bench harness
+//! uses to print paper-shaped outputs (one series per figure panel, one
+//! table per paper table).
+
+#![warn(missing_docs)]
+
+pub mod cfpu;
+pub mod error;
+pub mod roc;
+pub mod series;
+pub mod table;
+
+pub use cfpu::{cfpu_lba_lbd, cfpu_lbu, cfpu_lpa, cfpu_lpd, cfpu_lpu_lsp};
+pub use error::{mae, mre, mse, StreamError, DEFAULT_MRE_FLOOR};
+pub use roc::{auc, roc_points, RocCurve};
+pub use series::{Series, SeriesPoint};
+pub use table::Table;

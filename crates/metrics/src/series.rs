@@ -1,0 +1,141 @@
+//! Figure series: one line in one panel of a paper figure.
+//!
+//! An experiment grid produces, per (mechanism, x-value), a set of
+//! per-seed measurements. A [`Series`] is the aggregated line the paper
+//! plots: mean across seeds, with the standard deviation kept for error
+//! bars and stability checks.
+
+use ldp_util::stats::{mean, sample_variance};
+use serde::{Deserialize, Serialize};
+
+/// One x-position of a series: mean ± sd over seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The swept parameter value (ε, w, N, √Q, …).
+    pub x: f64,
+    /// Mean of the metric across seeds.
+    pub y: f64,
+    /// Standard deviation across seeds (0 for a single seed).
+    pub sd: f64,
+    /// Number of seeds aggregated.
+    pub seeds: usize,
+}
+
+/// A named line in a figure panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Line label — the mechanism name in the paper's figures.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// An empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Aggregate per-seed samples into the point at `x`.
+    ///
+    /// # Panics
+    /// If `samples` is empty.
+    pub fn push_samples(&mut self, x: f64, samples: &[f64]) {
+        assert!(!samples.is_empty(), "need at least one sample per point");
+        let y = mean(samples);
+        let sd = if samples.len() > 1 {
+            sample_variance(samples).sqrt()
+        } else {
+            0.0
+        };
+        self.points.push(SeriesPoint {
+            x,
+            y,
+            sd,
+            seeds: samples.len(),
+        });
+    }
+
+    /// The y values in x order.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// The x values.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// Whether every y of `self` is below the matching y of `other`
+    /// (strict domination — used to assert "population division beats
+    /// budget division" figure-shape claims).
+    pub fn dominates_below(&self, other: &Series) -> bool {
+        self.points.len() == other.points.len()
+            && self
+                .points
+                .iter()
+                .zip(&other.points)
+                .all(|(a, b)| a.y < b.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_computes_mean_and_sd() {
+        let mut s = Series::new("lpa");
+        s.push_samples(1.0, &[0.1, 0.2, 0.3]);
+        let p = s.points[0];
+        assert!((p.y - 0.2).abs() < 1e-12);
+        assert!((p.sd - 0.1).abs() < 1e-12);
+        assert_eq!(p.seeds, 3);
+    }
+
+    #[test]
+    fn single_seed_has_zero_sd() {
+        let mut s = Series::new("lbu");
+        s.push_samples(2.0, &[0.5]);
+        assert_eq!(s.points[0].sd, 0.0);
+    }
+
+    #[test]
+    fn accessors_return_columns() {
+        let mut s = Series::new("x");
+        s.push_samples(1.0, &[1.0]);
+        s.push_samples(2.0, &[3.0]);
+        assert_eq!(s.xs(), vec![1.0, 2.0]);
+        assert_eq!(s.ys(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn domination_check() {
+        let mut lo = Series::new("lo");
+        let mut hi = Series::new("hi");
+        for x in [1.0, 2.0] {
+            lo.push_samples(x, &[0.1]);
+            hi.push_samples(x, &[0.5]);
+        }
+        assert!(lo.dominates_below(&hi));
+        assert!(!hi.dominates_below(&lo));
+    }
+
+    #[test]
+    fn serializes_roundtrip() {
+        let mut s = Series::new("lpd");
+        s.push_samples(0.5, &[0.3, 0.4]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        Series::new("x").push_samples(1.0, &[]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fixed-width text tables for paper-shaped console output.
+//!
+//! The `repro` binary prints every figure as a table of series and every
+//! table as, well, a table. This tiny formatter right-aligns numeric
+//! cells, pads headers, and keeps the output diff-friendly so
+//! EXPERIMENTS.md can quote it verbatim.
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of preformatted cells.
+    ///
+    /// # Panics
+    /// If the width differs from the header row.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Append a row of `(label, values…)` with numeric formatting.
+    pub fn push_numeric_row(&mut self, label: impl Into<String>, values: &[f64], precision: usize) {
+        let mut row = vec![label.into()];
+        row.extend(values.iter().map(|v| format_num(*v, precision)));
+        self.push_row(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    // First column (labels) left-aligned.
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a number at fixed precision, with NaN shown as `-`.
+pub fn format_num(v: f64, precision: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.precision$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["method", "eps=0.5", "eps=1"]);
+        t.push_numeric_row("lbu", &[0.91234, 0.5], 3);
+        t.push_numeric_row("lpa", &[0.08, 0.04111], 3);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].contains("0.912"));
+        assert!(lines[3].contains("0.041"));
+        // All rows align to the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn nan_renders_as_dash() {
+        assert_eq!(format_num(f64::NAN, 2), "-");
+        assert_eq!(format_num(1.5, 2), "1.50");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["a", "b"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["x", "1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+}

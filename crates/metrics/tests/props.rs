@@ -1,0 +1,109 @@
+//! Property tests for the metrics layer.
+
+use ldp_metrics::{auc, mae, mre, mse, roc_points, Series, DEFAULT_MRE_FLOOR};
+use proptest::prelude::*;
+
+proptest! {
+    /// AUC is always in [0, 1] (when defined) and invariant under any
+    /// strictly increasing transform of the scores.
+    #[test]
+    fn auc_bounded_and_rank_invariant(
+        scores in proptest::collection::vec(-10.0f64..10.0, 4..40),
+        label_bits in proptest::collection::vec(any::<bool>(), 4..40),
+    ) {
+        let n = scores.len().min(label_bits.len());
+        let scores = &scores[..n];
+        let labels = &label_bits[..n];
+        let a = auc(scores, labels);
+        if a.is_nan() {
+            // Degenerate labels: all positive or all negative.
+            let pos = labels.iter().filter(|&&l| l).count();
+            prop_assert!(pos == 0 || pos == n);
+        } else {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+            // Strictly increasing transform: x ↦ 2x + 1 then exp.
+            let transformed: Vec<f64> =
+                scores.iter().map(|&s| (2.0 * s + 1.0).exp()).collect();
+            let b = auc(&transformed, labels);
+            prop_assert!((a - b).abs() < 1e-12, "AUC changed under monotone map");
+        }
+    }
+
+    /// Reversing the score order flips AUC to 1 − AUC.
+    #[test]
+    fn auc_complementary_under_negation(
+        scores in proptest::collection::vec(-5.0f64..5.0, 4..30),
+        label_bits in proptest::collection::vec(any::<bool>(), 4..30),
+    ) {
+        let n = scores.len().min(label_bits.len());
+        let scores = &scores[..n];
+        let labels = &label_bits[..n];
+        let a = auc(scores, labels);
+        prop_assume!(!a.is_nan());
+        // Ties are their own complement, so perturb to distinct scores.
+        let distinct: Vec<f64> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s + i as f64 * 1e-7)
+            .collect();
+        let a = auc(&distinct, labels);
+        let negated: Vec<f64> = distinct.iter().map(|&s| -s).collect();
+        let b = auc(&negated, labels);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    }
+
+    /// ROC curves are monotone staircases from (0,0) to (1,1).
+    #[test]
+    fn roc_is_monotone_staircase(
+        scores in proptest::collection::vec(0.0f64..1.0, 4..40),
+        label_bits in proptest::collection::vec(any::<bool>(), 4..40),
+    ) {
+        let n = scores.len().min(label_bits.len());
+        let curve = roc_points(&scores[..n], &label_bits[..n]);
+        prop_assume!(!curve.auc.is_nan());
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        prop_assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        prop_assert!((last.fpr - 1.0).abs() < 1e-12 && (last.tpr - 1.0).abs() < 1e-12);
+        for w in curve.points.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    /// Error metrics: non-negative, zero iff identical, and scale with
+    /// a uniform shift in the expected way.
+    #[test]
+    fn error_metrics_basic_laws(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 3..=3), 1..10),
+        shift in 0.001f64..0.5,
+    ) {
+        let truth: Vec<Vec<f64>> = rows;
+        prop_assert_eq!(mae(&truth, &truth), 0.0);
+        prop_assert_eq!(mse(&truth, &truth), 0.0);
+        prop_assert_eq!(mre(&truth, &truth, DEFAULT_MRE_FLOOR), 0.0);
+        let shifted: Vec<Vec<f64>> = truth
+            .iter()
+            .map(|r| r.iter().map(|x| x + shift).collect())
+            .collect();
+        prop_assert!((mae(&shifted, &truth) - shift).abs() < 1e-9);
+        prop_assert!((mse(&shifted, &truth) - shift * shift).abs() < 1e-9);
+        prop_assert!(mre(&shifted, &truth, DEFAULT_MRE_FLOOR) >= shift - 1e-9);
+    }
+
+    /// Series aggregation: the mean lies in the sample hull and sd is 0
+    /// iff all samples are equal.
+    #[test]
+    fn series_aggregation_laws(samples in proptest::collection::vec(-5.0f64..5.0, 1..20)) {
+        let mut s = Series::new("prop");
+        s.push_samples(1.0, &samples);
+        let p = s.points[0];
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.y >= lo - 1e-12 && p.y <= hi + 1e-12);
+        prop_assert!(p.sd >= 0.0);
+        if samples.len() > 1 && (hi - lo) > 1e-9 {
+            prop_assert!(p.sd > 0.0);
+        }
+    }
+}

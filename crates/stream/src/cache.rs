@@ -1,0 +1,208 @@
+//! Stream materialization and cross-run caching.
+//!
+//! The paper evaluates every mechanism and parameter setting on the *same*
+//! stream realisation. Materializing a dataset once (a `T × d` count
+//! matrix) and replaying it for each grid point both reproduces that setup
+//! and amortizes generation cost: the Taobao simulator walks 10⁶-user
+//! aggregate state for 432 steps exactly once per (dataset, seed).
+
+use crate::datasets::Dataset;
+use crate::domain::Domain;
+use crate::histogram::TrueHistogram;
+use crate::source::{ReplaySource, StreamSource};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fully materialized stream: the true histogram at every timestamp.
+#[derive(Debug, Clone)]
+pub struct MaterializedStream {
+    name: String,
+    domain: Domain,
+    population: u64,
+    histograms: Vec<TrueHistogram>,
+}
+
+impl MaterializedStream {
+    /// Drain `len` timestamps from a source.
+    pub fn from_source(source: &mut dyn StreamSource, len: usize) -> Self {
+        assert!(len > 0, "materialized stream must have at least 1 step");
+        let histograms: Vec<TrueHistogram> = (0..len).map(|_| source.next_histogram()).collect();
+        MaterializedStream {
+            name: source.name().to_string(),
+            domain: source.domain().clone(),
+            population: source.population(),
+            histograms,
+        }
+    }
+
+    /// Materialize a [`Dataset`] at its natural length.
+    pub fn from_dataset(dataset: &Dataset, seed: u64) -> Self {
+        let mut source = dataset.build(seed);
+        let len = dataset.len();
+        Self::from_source(source.as_mut(), len)
+    }
+
+    /// Dataset family name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Population `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Stream length `T`.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Whether the stream is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Histogram at timestamp `t` (0-based).
+    pub fn histogram(&self, t: usize) -> &TrueHistogram {
+        &self.histograms[t]
+    }
+
+    /// All histograms.
+    pub fn histograms(&self) -> &[TrueHistogram] {
+        &self.histograms
+    }
+
+    /// The frequency matrix (`T × d`).
+    pub fn frequency_matrix(&self) -> Vec<Vec<f64>> {
+        self.histograms.iter().map(|h| h.frequencies()).collect()
+    }
+
+    /// A replaying [`StreamSource`] view of this materialized stream.
+    pub fn replay(&self) -> ReplaySource {
+        ReplaySource::new(self.name.clone(), self.histograms.clone())
+    }
+}
+
+/// A process-wide cache of materialized streams keyed by
+/// `(dataset-config, seed)`.
+#[derive(Default)]
+pub struct StreamCache {
+    entries: Mutex<HashMap<String, Arc<MaterializedStream>>>,
+}
+
+impl StreamCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the materialized stream for `(dataset, seed)`, generating it on
+    /// first use. Subsequent calls (from any thread) share one copy.
+    pub fn get(&self, dataset: &Dataset, seed: u64) -> Arc<MaterializedStream> {
+        let key = dataset.cache_key(seed);
+        if let Some(hit) = self.entries.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock: materialization can take seconds and
+        // other keys should not block behind it. A racing duplicate of the
+        // same key is harmless (last writer wins, both copies identical).
+        let stream = Arc::new(MaterializedStream::from_dataset(dataset, seed));
+        self.entries
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&stream))
+            .clone()
+    }
+
+    /// Number of cached streams.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drop all cached streams.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lns() -> Dataset {
+        Dataset::Lns {
+            population: 1000,
+            len: 50,
+            p0: 0.05,
+            q_std: 0.0025,
+        }
+    }
+
+    #[test]
+    fn materialize_has_declared_shape() {
+        let m = MaterializedStream::from_dataset(&small_lns(), 7);
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.population(), 1000);
+        assert_eq!(m.domain().size(), 2);
+        assert_eq!(m.name(), "lns");
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn frequency_matrix_rows_sum_to_one() {
+        let m = MaterializedStream::from_dataset(&small_lns(), 7);
+        for row in m.frequency_matrix() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_stream() {
+        let m = MaterializedStream::from_dataset(&small_lns(), 9);
+        let mut replay = m.replay();
+        for t in 0..m.len() {
+            assert_eq!(&replay.next_histogram(), m.histogram(t));
+        }
+    }
+
+    #[test]
+    fn cache_shares_one_copy() {
+        let cache = StreamCache::new();
+        let a = cache.get(&small_lns(), 1);
+        let b = cache.get(&small_lns(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_seeds_and_configs() {
+        let cache = StreamCache::new();
+        let _ = cache.get(&small_lns(), 1);
+        let _ = cache.get(&small_lns(), 2);
+        let _ = cache.get(&small_lns().with_population(2000), 1);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_streams_are_identical_across_calls() {
+        let cache = StreamCache::new();
+        let a = cache.get(&small_lns(), 3);
+        cache.clear();
+        let b = cache.get(&small_lns(), 3);
+        assert_eq!(a.histograms(), b.histograms());
+    }
+}

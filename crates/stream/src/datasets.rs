@@ -1,0 +1,311 @@
+//! The paper's six evaluation datasets as a single enum.
+//!
+//! The harness sweeps (dataset × mechanism × ε × w) grids; `Dataset` is
+//! the declarative key: it carries the generator parameters, builds the
+//! concrete [`StreamSource`] on demand, and hashes stably for the stream
+//! cache.
+
+use crate::realworld::{FoursquareSim, TaobaoSim, TaxiSim};
+use crate::source::StreamSource;
+use crate::synthetic::{
+    BinaryStream, LnsProcess, LogProcess, SinProcess, DEFAULT_LEN, DEFAULT_POPULATION,
+};
+use serde::{Deserialize, Serialize};
+
+/// A fully parameterized evaluation dataset (paper §7.1.1–7.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Linear process with Gaussian innovations.
+    Lns {
+        /// Users.
+        population: u64,
+        /// Timestamps.
+        len: usize,
+        /// Initial probability `p_0`.
+        p0: f64,
+        /// Innovation standard deviation `√Q`.
+        q_std: f64,
+    },
+    /// Sinusoidal process.
+    Sin {
+        /// Users.
+        population: u64,
+        /// Timestamps.
+        len: usize,
+        /// Amplitude `A`.
+        a: f64,
+        /// Angular frequency `b`.
+        b: f64,
+        /// Offset `h`.
+        h: f64,
+    },
+    /// Logistic-growth process.
+    Log {
+        /// Users.
+        population: u64,
+        /// Timestamps.
+        len: usize,
+        /// Asymptote `A`.
+        a: f64,
+        /// Growth rate `b`.
+        b: f64,
+    },
+    /// Simulated T-Drive taxi densities.
+    Taxi {
+        /// Users (taxis).
+        population: u64,
+    },
+    /// Simulated Foursquare check-ins.
+    Foursquare {
+        /// Users.
+        population: u64,
+    },
+    /// Simulated Taobao ad clicks.
+    Taobao {
+        /// Users.
+        population: u64,
+    },
+}
+
+impl Dataset {
+    /// Paper-default LNS.
+    pub fn lns() -> Dataset {
+        Dataset::Lns {
+            population: DEFAULT_POPULATION,
+            len: DEFAULT_LEN,
+            p0: 0.05,
+            q_std: 0.0025,
+        }
+    }
+
+    /// Paper-default Sin.
+    pub fn sin() -> Dataset {
+        Dataset::Sin {
+            population: DEFAULT_POPULATION,
+            len: DEFAULT_LEN,
+            a: 0.05,
+            b: 0.01,
+            h: 0.075,
+        }
+    }
+
+    /// Paper-default Log.
+    pub fn log() -> Dataset {
+        Dataset::Log {
+            population: DEFAULT_POPULATION,
+            len: DEFAULT_LEN,
+            a: 0.25,
+            b: 0.01,
+        }
+    }
+
+    /// Paper-default Taxi.
+    pub fn taxi() -> Dataset {
+        Dataset::Taxi {
+            population: crate::realworld::taxi::TAXI_POPULATION,
+        }
+    }
+
+    /// Paper-default Foursquare.
+    pub fn foursquare() -> Dataset {
+        Dataset::Foursquare {
+            population: crate::realworld::foursquare::FOURSQUARE_POPULATION,
+        }
+    }
+
+    /// Paper-default Taobao.
+    pub fn taobao() -> Dataset {
+        Dataset::Taobao {
+            population: crate::realworld::taobao::TAOBAO_POPULATION,
+        }
+    }
+
+    /// All six paper datasets with default parameters.
+    pub fn paper_defaults() -> Vec<Dataset> {
+        vec![
+            Dataset::lns(),
+            Dataset::sin(),
+            Dataset::log(),
+            Dataset::taxi(),
+            Dataset::foursquare(),
+            Dataset::taobao(),
+        ]
+    }
+
+    /// The dataset family name (used in figures and cache keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Lns { .. } => "lns",
+            Dataset::Sin { .. } => "sin",
+            Dataset::Log { .. } => "log",
+            Dataset::Taxi { .. } => "taxi",
+            Dataset::Foursquare { .. } => "foursquare",
+            Dataset::Taobao { .. } => "taobao",
+        }
+    }
+
+    /// Population `N`.
+    pub fn population(&self) -> u64 {
+        match *self {
+            Dataset::Lns { population, .. }
+            | Dataset::Sin { population, .. }
+            | Dataset::Log { population, .. }
+            | Dataset::Taxi { population }
+            | Dataset::Foursquare { population }
+            | Dataset::Taobao { population } => population,
+        }
+    }
+
+    /// Return a copy with a different population (Fig. 6a/6b, Fig. 8a).
+    pub fn with_population(&self, population: u64) -> Dataset {
+        let mut d = self.clone();
+        match &mut d {
+            Dataset::Lns { population: p, .. }
+            | Dataset::Sin { population: p, .. }
+            | Dataset::Log { population: p, .. }
+            | Dataset::Taxi { population: p }
+            | Dataset::Foursquare { population: p }
+            | Dataset::Taobao { population: p } => *p = population,
+        }
+        d
+    }
+
+    /// Natural stream length.
+    pub fn len(&self) -> usize {
+        match *self {
+            Dataset::Lns { len, .. } | Dataset::Sin { len, .. } | Dataset::Log { len, .. } => len,
+            Dataset::Taxi { .. } => crate::realworld::taxi::TAXI_LEN,
+            Dataset::Foursquare { .. } => crate::realworld::foursquare::FOURSQUARE_LEN,
+            Dataset::Taobao { .. } => crate::realworld::taobao::TAOBAO_LEN,
+        }
+    }
+
+    /// Whether the stream has zero length (never, for valid datasets).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Domain cardinality `d`.
+    pub fn domain_size(&self) -> usize {
+        match self {
+            Dataset::Lns { .. } | Dataset::Sin { .. } | Dataset::Log { .. } => 2,
+            Dataset::Taxi { .. } => crate::realworld::taxi::TAXI_DOMAIN,
+            Dataset::Foursquare { .. } => crate::realworld::foursquare::FOURSQUARE_DOMAIN,
+            Dataset::Taobao { .. } => crate::realworld::taobao::TAOBAO_DOMAIN,
+        }
+    }
+
+    /// Build the concrete stream source for this dataset under `seed`.
+    pub fn build(&self, seed: u64) -> Box<dyn StreamSource> {
+        match *self {
+            Dataset::Lns {
+                population,
+                len,
+                p0,
+                q_std,
+            } => Box::new(BinaryStream::new(
+                "lns",
+                population,
+                len,
+                LnsProcess::with_params(seed, p0, q_std),
+            )),
+            Dataset::Sin {
+                population,
+                len,
+                a,
+                b,
+                h,
+            } => Box::new(BinaryStream::new(
+                "sin",
+                population,
+                len,
+                SinProcess::with_params(a, b, h),
+            )),
+            Dataset::Log {
+                population,
+                len,
+                a,
+                b,
+            } => Box::new(BinaryStream::new(
+                "log",
+                population,
+                len,
+                LogProcess::with_params(a, b),
+            )),
+            Dataset::Taxi { population } => Box::new(TaxiSim::with_population(seed, population)),
+            Dataset::Foursquare { population } => {
+                Box::new(FoursquareSim::with_population(seed, population))
+            }
+            Dataset::Taobao { population } => {
+                Box::new(TaobaoSim::with_population(seed, population))
+            }
+        }
+    }
+
+    /// A stable string key identifying this configuration (for caching).
+    pub fn cache_key(&self, seed: u64) -> String {
+        format!("{self:?}#seed={seed}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_cover_all_six() {
+        let names: Vec<&str> = Dataset::paper_defaults().iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["lns", "sin", "log", "taxi", "foursquare", "taobao"]
+        );
+    }
+
+    #[test]
+    fn default_shapes_match_paper() {
+        assert_eq!(Dataset::lns().population(), 200_000);
+        assert_eq!(Dataset::lns().len(), 800);
+        assert_eq!(Dataset::lns().domain_size(), 2);
+        assert_eq!(Dataset::taxi().population(), 10_357);
+        assert_eq!(Dataset::taxi().len(), 886);
+        assert_eq!(Dataset::taxi().domain_size(), 5);
+        assert_eq!(Dataset::foursquare().population(), 265_149);
+        assert_eq!(Dataset::foursquare().domain_size(), 77);
+        assert_eq!(Dataset::taobao().population(), 1_023_154);
+        assert_eq!(Dataset::taobao().len(), 432);
+        assert_eq!(Dataset::taobao().domain_size(), 117);
+    }
+
+    #[test]
+    fn with_population_rewrites_only_population() {
+        let d = Dataset::sin().with_population(1234);
+        assert_eq!(d.population(), 1234);
+        assert_eq!(d.len(), 800);
+        assert_eq!(d.name(), "sin");
+    }
+
+    #[test]
+    fn build_matches_declared_shape() {
+        for ds in Dataset::paper_defaults() {
+            // Scale real-world populations down so the test stays fast.
+            let ds = ds.with_population(ds.population().min(20_000));
+            let mut src = ds.build(1);
+            assert_eq!(src.domain().size(), ds.domain_size(), "{}", ds.name());
+            assert_eq!(src.population(), ds.population(), "{}", ds.name());
+            let h = src.next_histogram();
+            assert_eq!(h.domain_size(), ds.domain_size());
+            assert_eq!(h.population(), ds.population());
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_configs_and_seeds() {
+        let a = Dataset::lns().cache_key(1);
+        let b = Dataset::lns().cache_key(2);
+        let c = Dataset::sin().cache_key(1);
+        let d = Dataset::lns().with_population(99).cache_key(1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

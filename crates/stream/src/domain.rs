@@ -1,0 +1,100 @@
+//! Categorical value domains.
+
+use serde::{Deserialize, Serialize};
+
+/// The categorical domain `Ω = {ω_0, …, ω_{d−1}}` users report from.
+///
+/// Values are dense indices `0..d`; an optional label set gives them
+/// human-readable names in example output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    size: usize,
+    labels: Option<Vec<String>>,
+}
+
+impl Domain {
+    /// An unlabelled domain of `size` values. Panics if `size < 2`: a
+    /// singleton domain carries no information and breaks every oracle.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 2, "domain must have at least 2 values, got {size}");
+        Domain { size, labels: None }
+    }
+
+    /// A labelled domain; the label count fixes the size.
+    pub fn with_labels(labels: Vec<String>) -> Self {
+        assert!(labels.len() >= 2, "domain must have at least 2 values");
+        Domain {
+            size: labels.len(),
+            labels: Some(labels),
+        }
+    }
+
+    /// The binary domain used by the synthetic generators (§7.1.1).
+    pub fn binary() -> Self {
+        Domain::with_labels(vec!["0".into(), "1".into()])
+    }
+
+    /// Cardinality `d`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Label of value `k` (its index when unlabelled).
+    pub fn label(&self, k: usize) -> String {
+        match &self.labels {
+            Some(labels) if k < labels.len() => labels[k].clone(),
+            _ => k.to_string(),
+        }
+    }
+
+    /// Whether `value` is a member.
+    pub fn contains(&self, value: usize) -> bool {
+        value < self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_domain_has_size() {
+        let d = Domain::new(5);
+        assert_eq!(d.size(), 5);
+        assert!(d.contains(0));
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn singleton_domain_rejected() {
+        Domain::new(1);
+    }
+
+    #[test]
+    fn labels_fix_size_and_name_values() {
+        let d = Domain::with_labels(vec!["north".into(), "south".into(), "east".into()]);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.label(1), "south");
+        assert_eq!(d.label(7), "7");
+    }
+
+    #[test]
+    fn unlabelled_label_is_index() {
+        assert_eq!(Domain::new(4).label(2), "2");
+    }
+
+    #[test]
+    fn binary_domain() {
+        let d = Domain::binary();
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.label(1), "1");
+    }
+
+    #[test]
+    fn clone_equality() {
+        let d = Domain::with_labels(vec!["a".into(), "b".into()]);
+        assert_eq!(d.clone(), d);
+    }
+}

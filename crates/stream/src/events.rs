@@ -1,0 +1,141 @@
+//! Above-threshold event definitions for the monitoring experiment
+//! (paper §7.4, Fig. 7).
+//!
+//! Event monitoring asks: at which timestamps does a scalar summary of
+//! the histogram exceed a threshold δ? The paper sets
+//! `δ = 0.75·(max − min) + min` of the *true* monitored series and scores
+//! how well the released stream detects the exceedances (ROC).
+//!
+//! For the binary synthetic streams the monitored statistic is simply the
+//! frequency of value 1. For the non-binary workloads the paper monitors
+//! a scalar histogram summary; since our simulated populations are always
+//! fully active (frequencies sum to one, so the plain mean over cells is
+//! constant), we monitor the aggregate mass of the domain's *hot cells* —
+//! the same "is overall activity elevated" detection task. The choice is
+//! an explicit [`MonitorStat`] so callers can pick any summary.
+
+use crate::histogram::TrueHistogram;
+
+/// A scalar summary of a frequency histogram to monitor over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorStat {
+    /// Frequency of a single cell (cell 1 for the binary streams).
+    Cell(usize),
+    /// Mean frequency over all cells (constant when Σf = 1; provided for
+    /// completeness with the paper's description).
+    Mean,
+    /// Total frequency mass over a fixed set of "hot" cells.
+    HotMass(Vec<usize>),
+}
+
+impl MonitorStat {
+    /// The conventional statistic for a domain of size `d`: cell 1 on the
+    /// binary domain, the busiest quarter of cells otherwise.
+    pub fn default_for_domain(d: usize, first_hist: &TrueHistogram) -> MonitorStat {
+        if d == 2 {
+            return MonitorStat::Cell(1);
+        }
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(first_hist.count(b)));
+        let take = (d / 4).max(1);
+        let mut hot: Vec<usize> = order.into_iter().take(take).collect();
+        hot.sort_unstable();
+        MonitorStat::HotMass(hot)
+    }
+
+    /// Evaluate the summary on a frequency vector.
+    pub fn eval(&self, frequencies: &[f64]) -> f64 {
+        match self {
+            MonitorStat::Cell(k) => frequencies.get(*k).copied().unwrap_or(0.0),
+            MonitorStat::Mean => {
+                if frequencies.is_empty() {
+                    0.0
+                } else {
+                    frequencies.iter().sum::<f64>() / frequencies.len() as f64
+                }
+            }
+            MonitorStat::HotMass(cells) => cells
+                .iter()
+                .filter_map(|&k| frequencies.get(k))
+                .sum::<f64>(),
+        }
+    }
+
+    /// Evaluate the summary over a whole stream of frequency vectors.
+    pub fn series(&self, stream: &[Vec<f64>]) -> Vec<f64> {
+        stream.iter().map(|f| self.eval(f)).collect()
+    }
+}
+
+/// The paper's threshold rule: `δ = 0.75·(max(s) − min(s)) + min(s)`.
+pub fn paper_threshold(series: &[f64]) -> f64 {
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    0.75 * (max - min) + min
+}
+
+/// Ground-truth event labels: `series[t] > delta`.
+pub fn above_threshold_labels(series: &[f64], delta: f64) -> Vec<bool> {
+    series.iter().map(|&s| s > delta).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_stat_reads_one_cell() {
+        let stat = MonitorStat::Cell(1);
+        assert_eq!(stat.eval(&[0.3, 0.7]), 0.7);
+        assert_eq!(stat.eval(&[0.3]), 0.0, "out of range reads zero");
+    }
+
+    #[test]
+    fn mean_stat_averages() {
+        let stat = MonitorStat::Mean;
+        assert!((stat.eval(&[0.2, 0.4, 0.6]) - 0.4).abs() < 1e-12);
+        assert_eq!(stat.eval(&[]), 0.0);
+    }
+
+    #[test]
+    fn hot_mass_sums_selected_cells() {
+        let stat = MonitorStat::HotMass(vec![0, 2]);
+        assert!((stat.eval(&[0.1, 0.2, 0.3, 0.4]) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_for_binary_is_cell_one() {
+        let h = TrueHistogram::new(vec![90, 10]);
+        assert_eq!(MonitorStat::default_for_domain(2, &h), MonitorStat::Cell(1));
+    }
+
+    #[test]
+    fn default_for_large_domain_picks_busiest_quarter() {
+        let h = TrueHistogram::new(vec![5, 100, 2, 80, 1, 1, 1, 1]);
+        match MonitorStat::default_for_domain(8, &h) {
+            MonitorStat::HotMass(cells) => assert_eq!(cells, vec![1, 3]),
+            other => panic!("unexpected stat {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_threshold_formula() {
+        let series = [0.0, 1.0, 0.5];
+        assert!((paper_threshold(&series) - 0.75).abs() < 1e-12);
+        let shifted = [2.0, 4.0];
+        assert!((paper_threshold(&shifted) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_strict_exceedances() {
+        let labels = above_threshold_labels(&[0.1, 0.75, 0.8], 0.75);
+        assert_eq!(labels, vec![false, false, true]);
+    }
+
+    #[test]
+    fn series_maps_eval() {
+        let stat = MonitorStat::Cell(0);
+        let stream = vec![vec![0.1, 0.9], vec![0.6, 0.4]];
+        assert_eq!(stat.series(&stream), vec![0.1, 0.6]);
+    }
+}

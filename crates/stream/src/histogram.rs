@@ -1,0 +1,113 @@
+//! Per-timestamp true population state as cell counts.
+
+use serde::{Deserialize, Serialize};
+
+/// The true state of the population at one timestamp: how many of the `n`
+/// users hold each domain value. This is the ground truth the server never
+/// sees; mechanisms receive it only through a perturbing collector, and
+/// metrics compare releases against it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrueHistogram {
+    counts: Vec<u64>,
+}
+
+impl TrueHistogram {
+    /// Wrap raw per-cell counts.
+    pub fn new(counts: Vec<u64>) -> Self {
+        assert!(counts.len() >= 2, "histogram needs at least 2 cells");
+        TrueHistogram { counts }
+    }
+
+    /// All-zero histogram over `d` cells.
+    pub fn zeros(d: usize) -> Self {
+        TrueHistogram::new(vec![0; d])
+    }
+
+    /// Number of cells `d`.
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total population `n = Σ_k counts[k]`.
+    pub fn population(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of one cell.
+    pub fn count(&self, k: usize) -> u64 {
+        self.counts[k]
+    }
+
+    /// Frequencies `c_t[k] = counts[k] / n` (all-zero when `n = 0`).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let n = self.population();
+        if n == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    /// Frequency of one cell.
+    pub fn frequency(&self, k: usize) -> f64 {
+        let n = self.population();
+        if n == 0 {
+            0.0
+        } else {
+            self.counts[k] as f64 / n as f64
+        }
+    }
+}
+
+impl From<Vec<u64>> for TrueHistogram {
+    fn from(counts: Vec<u64>) -> Self {
+        TrueHistogram::new(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_population() {
+        let h = TrueHistogram::new(vec![3, 0, 7]);
+        assert_eq!(h.domain_size(), 3);
+        assert_eq!(h.population(), 10);
+        assert_eq!(h.count(2), 7);
+        assert_eq!(h.counts(), &[3, 0, 7]);
+    }
+
+    #[test]
+    fn frequencies_normalize() {
+        let h = TrueHistogram::new(vec![1, 3]);
+        let f = h.frequencies();
+        assert!((f[0] - 0.25).abs() < 1e-12);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+        assert!((h.frequency(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_has_zero_frequencies() {
+        let h = TrueHistogram::zeros(4);
+        assert_eq!(h.population(), 0);
+        assert_eq!(h.frequencies(), vec![0.0; 4]);
+        assert_eq!(h.frequency(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_cell_rejected() {
+        TrueHistogram::new(vec![5]);
+    }
+
+    #[test]
+    fn from_vec() {
+        let h: TrueHistogram = vec![1u64, 2].into();
+        assert_eq!(h.population(), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulated Foursquare check-in stream.
+//!
+//! Paper shape: `N = 265 149` users, `T = 447` timestamps, `d = 77`
+//! countries; each user's stream is their current check-in country.
+//!
+//! Model: country popularity is Zipf-distributed (check-in volume across
+//! countries is famously heavy-tailed) and users mostly stay in their
+//! current country — international travel is rare. An aggregate Markov
+//! chain with a small leave-probability whose destination distribution is
+//! the same Zipf keeps the marginal stationary while changing extremely
+//! slowly, matching the near-static character of the real trace (which is
+//! why data-adaptive mechanisms publish rarely on it).
+
+use crate::domain::Domain;
+use crate::histogram::TrueHistogram;
+use crate::realworld::markov::{largest_remainder_allocation, markov_step};
+use crate::source::StreamSource;
+use ldp_util::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper population.
+pub const FOURSQUARE_POPULATION: u64 = 265_149;
+/// Paper stream length.
+pub const FOURSQUARE_LEN: usize = 447;
+/// Paper domain size (countries).
+pub const FOURSQUARE_DOMAIN: usize = 77;
+
+/// Per-step probability that a user checks in from a different country.
+const TRAVEL_PROB: f64 = 0.004;
+/// Zipf exponent of country popularity.
+const ZIPF_EXPONENT: f64 = 1.1;
+
+/// Simulated Foursquare check-in stream source.
+pub struct FoursquareSim {
+    domain: Domain,
+    population: u64,
+    counts: Vec<u64>,
+    weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl FoursquareSim {
+    /// Paper-shaped simulator with default population.
+    pub fn new(seed: u64) -> Self {
+        Self::with_population(seed, FOURSQUARE_POPULATION)
+    }
+
+    /// Same dynamics with a custom population.
+    pub fn with_population(seed: u64, population: u64) -> Self {
+        let zipf = Zipf::new(FOURSQUARE_DOMAIN, ZIPF_EXPONENT).expect("valid zipf");
+        let weights: Vec<f64> = (0..FOURSQUARE_DOMAIN).map(|k| zipf.pmf(k)).collect();
+        let counts = largest_remainder_allocation(population, &weights);
+        FoursquareSim {
+            domain: Domain::new(FOURSQUARE_DOMAIN),
+            population,
+            counts,
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl StreamSource for FoursquareSim {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(FOURSQUARE_LEN)
+    }
+
+    fn next_histogram(&mut self) -> TrueHistogram {
+        let h = TrueHistogram::new(self.counts.clone());
+        markov_step(&mut self.counts, TRAVEL_PROB, &self.weights, &mut self.rng);
+        h
+    }
+
+    fn name(&self) -> &str {
+        "foursquare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let mut s = FoursquareSim::new(1);
+        assert_eq!(s.population(), 265_149);
+        assert_eq!(s.domain().size(), 77);
+        assert_eq!(s.len_hint(), Some(447));
+        assert_eq!(s.next_histogram().population(), 265_149);
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let mut s = FoursquareSim::new(2);
+        let h = s.next_histogram();
+        let f = h.frequencies();
+        // Top country dwarfs the median one.
+        let mut sorted = f.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(
+            sorted[0] > 10.0 * sorted[38],
+            "not heavy tailed: {sorted:?}"
+        );
+    }
+
+    #[test]
+    fn stream_is_near_static() {
+        let mut s = FoursquareSim::new(3);
+        let first = s.next_histogram();
+        let mut last = first.clone();
+        for _ in 0..(FOURSQUARE_LEN - 1) {
+            last = s.next_histogram();
+        }
+        // L1 distance between the first and last frequency vectors stays
+        // small: the trace barely moves over its whole length.
+        let l1: f64 = first
+            .frequencies()
+            .iter()
+            .zip(last.frequencies())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 0.05, "stream moved too much: L1 = {l1}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = FoursquareSim::new(4);
+        let mut b = FoursquareSim::new(4);
+        for _ in 0..20 {
+            assert_eq!(a.next_histogram(), b.next_histogram());
+        }
+    }
+
+    #[test]
+    fn population_conserved() {
+        let mut s = FoursquareSim::with_population(5, 5000);
+        for _ in 0..100 {
+            assert_eq!(s.next_histogram().population(), 5000);
+        }
+    }
+}

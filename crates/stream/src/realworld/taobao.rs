@@ -1,0 +1,241 @@
+//! Simulated Taobao ad-click stream.
+//!
+//! Paper shape: `N = 1 023 154` customers, `T = 432` ten-minute
+//! timestamps over three days, `d = 117` ad-commodity categories; each
+//! user's value is the category of their last click.
+//!
+//! Model: Zipf base popularity over categories with a background drift,
+//! punctuated by seeded **flash-sale bursts**: for a burst's duration one
+//! category's destination weight is boosted hard and the global switching
+//! rate rises, pulling a visible spike of mass into the category, which
+//! then decays back to the stationary profile. Bursts give the stream the
+//! change-points the paper's event-monitoring experiment (Fig. 7) detects
+//! and make CFPU react to data fluctuation (Fig. 8b).
+
+use crate::domain::Domain;
+use crate::histogram::TrueHistogram;
+use crate::realworld::markov::{largest_remainder_allocation, markov_step};
+use crate::source::StreamSource;
+use ldp_util::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paper population.
+pub const TAOBAO_POPULATION: u64 = 1_023_154;
+/// Paper stream length.
+pub const TAOBAO_LEN: usize = 432;
+/// Paper domain size (ad categories).
+pub const TAOBAO_DOMAIN: usize = 117;
+
+/// Baseline per-step category-switch probability.
+const BASE_SWITCH: f64 = 0.010;
+/// Switch probability while a burst is live.
+const BURST_SWITCH: f64 = 0.045;
+/// Multiplier applied to the bursting category's destination weight.
+const BURST_BOOST: f64 = 60.0;
+/// Mean gap between bursts, in steps.
+const BURST_GAP: u64 = 70;
+/// Burst duration range, in steps.
+const BURST_LEN: std::ops::Range<u64> = 8..25;
+/// Zipf exponent of category popularity.
+const ZIPF_EXPONENT: f64 = 1.05;
+
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    start: u64,
+    end: u64,
+    category: usize,
+}
+
+/// Simulated Taobao click-category stream source.
+pub struct TaobaoSim {
+    domain: Domain,
+    population: u64,
+    counts: Vec<u64>,
+    base_weights: Vec<f64>,
+    bursts: Vec<Burst>,
+    t: u64,
+    rng: StdRng,
+}
+
+impl TaobaoSim {
+    /// Paper-shaped simulator with default population.
+    pub fn new(seed: u64) -> Self {
+        Self::with_population(seed, TAOBAO_POPULATION)
+    }
+
+    /// Same dynamics with a custom population.
+    pub fn with_population(seed: u64, population: u64) -> Self {
+        let zipf = Zipf::new(TAOBAO_DOMAIN, ZIPF_EXPONENT).expect("valid zipf");
+        let base_weights: Vec<f64> = (0..TAOBAO_DOMAIN).map(|k| zipf.pmf(k)).collect();
+        let counts = largest_remainder_allocation(population, &base_weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bursts = Self::schedule_bursts(&mut rng, TAOBAO_LEN as u64 * 2);
+        TaobaoSim {
+            domain: Domain::new(TAOBAO_DOMAIN),
+            population,
+            counts,
+            base_weights,
+            bursts,
+            t: 0,
+            rng,
+        }
+    }
+
+    /// Pre-draw the burst schedule so it is part of the seeded stream
+    /// identity (the same seed always bursts the same categories).
+    fn schedule_bursts(rng: &mut StdRng, horizon: u64) -> Vec<Burst> {
+        let mut bursts = Vec::new();
+        let mut t = rng.gen_range(10..BURST_GAP);
+        while t < horizon {
+            let len = rng.gen_range(BURST_LEN);
+            // Flash sales hit mid-popularity categories hardest — the top
+            // ones are already saturated.
+            let category = rng.gen_range(5..TAOBAO_DOMAIN.min(40));
+            bursts.push(Burst {
+                start: t,
+                end: t + len,
+                category,
+            });
+            t += len + rng.gen_range(BURST_GAP / 2..BURST_GAP * 3 / 2);
+        }
+        bursts
+    }
+
+    fn live_burst(&self) -> Option<Burst> {
+        self.bursts
+            .iter()
+            .find(|b| b.start <= self.t && self.t < b.end)
+            .copied()
+    }
+
+    fn advance(&mut self) {
+        let burst = self.live_burst();
+        let switch = if burst.is_some() {
+            BURST_SWITCH
+        } else {
+            BASE_SWITCH
+        };
+        match burst {
+            Some(b) => {
+                let mut weights = self.base_weights.clone();
+                weights[b.category] *= BURST_BOOST;
+                markov_step(&mut self.counts, switch, &weights, &mut self.rng);
+            }
+            None => {
+                markov_step(&mut self.counts, switch, &self.base_weights, &mut self.rng);
+            }
+        }
+        self.t += 1;
+    }
+}
+
+impl StreamSource for TaobaoSim {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(TAOBAO_LEN)
+    }
+
+    fn next_histogram(&mut self) -> TrueHistogram {
+        let h = TrueHistogram::new(self.counts.clone());
+        self.advance();
+        h
+    }
+
+    fn name(&self) -> &str {
+        "taobao"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scaled-down population keeps the test suite fast; the dynamics are
+    /// population-independent.
+    const TEST_POP: u64 = 100_000;
+
+    #[test]
+    fn paper_shape() {
+        let s = TaobaoSim::new(1);
+        assert_eq!(s.population(), 1_023_154);
+        assert_eq!(s.domain.size(), 117);
+        assert_eq!(s.len_hint(), Some(432));
+    }
+
+    #[test]
+    fn population_conserved() {
+        let mut s = TaobaoSim::with_population(2, TEST_POP);
+        for _ in 0..100 {
+            assert_eq!(s.next_histogram().population(), TEST_POP);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = TaobaoSim::with_population(3, TEST_POP);
+        let mut b = TaobaoSim::with_population(3, TEST_POP);
+        for _ in 0..30 {
+            assert_eq!(a.next_histogram(), b.next_histogram());
+        }
+    }
+
+    #[test]
+    fn bursts_create_visible_spikes() {
+        let mut s = TaobaoSim::with_population(4, TEST_POP);
+        let bursts = s.bursts.clone();
+        assert!(!bursts.is_empty(), "schedule must contain bursts");
+        let horizon = TAOBAO_LEN;
+        let mut series: Vec<Vec<f64>> = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            series.push(s.next_histogram().frequencies());
+        }
+        // Pick the first burst that completes within the horizon and check
+        // its category's share grows markedly from burst start to end.
+        let b = bursts
+            .iter()
+            .find(|b| (b.end as usize) < horizon)
+            .expect("a completed burst");
+        let before = series[b.start as usize][b.category];
+        let peak = (b.start..b.end)
+            .map(|t| series[t as usize][b.category])
+            .fold(0.0_f64, f64::max);
+        assert!(
+            peak > before * 1.5 && peak - before > 0.002,
+            "burst on {}: before {before}, peak {peak}",
+            b.category
+        );
+    }
+
+    #[test]
+    fn burst_schedule_is_seed_dependent() {
+        let a = TaobaoSim::with_population(5, TEST_POP);
+        let b = TaobaoSim::with_population(6, TEST_POP);
+        let a_cats: Vec<usize> = a.bursts.iter().map(|x| x.category).collect();
+        let b_cats: Vec<usize> = b.bursts.iter().map(|x| x.category).collect();
+        assert_ne!(a_cats, b_cats);
+    }
+
+    #[test]
+    fn quiet_periods_are_slow_moving() {
+        let mut s = TaobaoSim::with_population(7, TEST_POP);
+        let bursts = s.bursts.clone();
+        let mut prev = s.next_histogram().frequencies();
+        for t in 1..200u64 {
+            let cur = s.next_histogram().frequencies();
+            let in_burst = bursts.iter().any(|b| b.start <= t && t < b.end + 3);
+            if !in_burst {
+                let l1: f64 = prev.iter().zip(&cur).map(|(a, b)| (a - b).abs()).sum();
+                assert!(l1 < 0.05, "quiet step {t} moved L1 = {l1}");
+            }
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The stream-source abstraction.
+
+use crate::domain::Domain;
+use crate::histogram::TrueHistogram;
+
+/// Anything that can produce the true per-timestamp population state.
+///
+/// A source models an *infinite* stream: `next_histogram` may be called
+/// forever. Finite experiment runs call it `T` times;
+/// [`len_hint`](StreamSource::len_hint) advertises a natural length for
+/// sources derived from finite traces (the simulated real-world
+/// workloads), which harnesses use as the default `T`.
+///
+/// Sources are deliberately *pull-based and stateful*: generators evolve
+/// user state timestep by timestep, exactly like the devices they stand
+/// in for.
+pub trait StreamSource: Send {
+    /// The value domain.
+    fn domain(&self) -> &Domain;
+
+    /// The (constant) population size `N`.
+    fn population(&self) -> u64;
+
+    /// Natural length of the stream, if finite-trace-derived.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Advance one timestamp and return the true histogram.
+    fn next_histogram(&mut self) -> TrueHistogram;
+
+    /// Short stable name for logging and cache keys.
+    fn name(&self) -> &str;
+
+    /// Collect the next `t` histograms.
+    fn take_histograms(&mut self, t: usize) -> Vec<TrueHistogram>
+    where
+        Self: Sized,
+    {
+        (0..t).map(|_| self.next_histogram()).collect()
+    }
+}
+
+/// A trivial source replaying a fixed histogram forever — useful in tests
+/// for perfectly static streams (where approximation is always optimal).
+#[derive(Debug, Clone)]
+pub struct ConstantSource {
+    domain: Domain,
+    hist: TrueHistogram,
+}
+
+impl ConstantSource {
+    /// A source that yields `hist` at every timestamp.
+    pub fn new(hist: TrueHistogram) -> Self {
+        ConstantSource {
+            domain: Domain::new(hist.domain_size()),
+            hist,
+        }
+    }
+}
+
+impl StreamSource for ConstantSource {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn population(&self) -> u64 {
+        self.hist.population()
+    }
+
+    fn next_histogram(&mut self) -> TrueHistogram {
+        self.hist.clone()
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+/// A source replaying a prerecorded histogram sequence, cycling when it
+/// runs past the end (streams are infinite; traces are not).
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    name: String,
+    domain: Domain,
+    population: u64,
+    seq: Vec<TrueHistogram>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Wrap a non-empty sequence of equal-population histograms.
+    pub fn new(name: impl Into<String>, seq: Vec<TrueHistogram>) -> Self {
+        assert!(!seq.is_empty(), "replay sequence must be non-empty");
+        let population = seq[0].population();
+        let d = seq[0].domain_size();
+        debug_assert!(seq.iter().all(|h| h.domain_size() == d));
+        ReplaySource {
+            name: name.into(),
+            domain: Domain::new(d),
+            population,
+            seq,
+            pos: 0,
+        }
+    }
+}
+
+impl StreamSource for ReplaySource {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.seq.len())
+    }
+
+    fn next_histogram(&mut self) -> TrueHistogram {
+        let h = self.seq[self.pos % self.seq.len()].clone();
+        self.pos += 1;
+        h
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_source_repeats() {
+        let mut s = ConstantSource::new(TrueHistogram::new(vec![3, 7]));
+        assert_eq!(s.population(), 10);
+        assert_eq!(s.domain().size(), 2);
+        let a = s.next_histogram();
+        let b = s.next_histogram();
+        assert_eq!(a, b);
+        assert_eq!(s.name(), "constant");
+        assert_eq!(s.len_hint(), None);
+    }
+
+    #[test]
+    fn replay_source_cycles() {
+        let seq = vec![
+            TrueHistogram::new(vec![1, 9]),
+            TrueHistogram::new(vec![5, 5]),
+        ];
+        let mut s = ReplaySource::new("toy", seq.clone());
+        assert_eq!(s.len_hint(), Some(2));
+        assert_eq!(s.next_histogram(), seq[0]);
+        assert_eq!(s.next_histogram(), seq[1]);
+        assert_eq!(s.next_histogram(), seq[0], "must cycle");
+    }
+
+    #[test]
+    fn take_histograms_collects() {
+        let mut s = ConstantSource::new(TrueHistogram::new(vec![1, 1]));
+        let hs = s.take_histograms(5);
+        assert_eq!(hs.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn replay_rejects_empty() {
+        ReplaySource::new("x", vec![]);
+    }
+}

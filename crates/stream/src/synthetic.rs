@@ -1,0 +1,307 @@
+//! Synthetic binary streams (paper §7.1.1).
+//!
+//! Each generator evolves a probability process `p_t = f(t)`; at every
+//! timestamp, `round(p_t · N)` of the `N` users hold value 1 and the rest
+//! hold 0. Defaults reproduce the paper exactly:
+//!
+//! * **LNS** — random walk `p_t = p_{t−1} + N(0, Q)`, `p_0 = 0.05`,
+//!   `√Q = 0.0025` (reflected into `[0, 1]` to stay a probability);
+//! * **Sin** — `p_t = A·sin(b·t) + h`, `A = 0.05`, `b = 0.01`,
+//!   `h = 0.075`;
+//! * **Log** — `p_t = A / (1 + e^{−b·t})`, `A = 0.25`, `b = 0.01`;
+//!
+//! with `T = 800` timestamps and `N = 200 000` users.
+
+use crate::domain::Domain;
+use crate::histogram::TrueHistogram;
+use crate::source::StreamSource;
+use ldp_util::Gaussian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default population for the synthetic datasets.
+pub const DEFAULT_POPULATION: u64 = 200_000;
+/// Default stream length for the synthetic datasets.
+pub const DEFAULT_LEN: usize = 800;
+
+/// A scalar probability process `p_t`.
+pub trait ProbabilityProcess: Send {
+    /// The probability at the next timestamp.
+    fn next_p(&mut self) -> f64;
+}
+
+/// Linear process with Gaussian innovations (`LNS`).
+#[derive(Debug)]
+pub struct LnsProcess {
+    p: f64,
+    noise: Gaussian,
+    rng: StdRng,
+}
+
+impl LnsProcess {
+    /// Paper defaults: `p_0 = 0.05`, `√Q = 0.0025`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(seed, 0.05, 0.0025)
+    }
+
+    /// Custom initial probability and innovation standard deviation
+    /// (`√Q`); Fig. 6(c) sweeps `√Q ∈ {0.001, 0.002, 0.004, 0.008}`.
+    pub fn with_params(seed: u64, p0: f64, q_std: f64) -> Self {
+        LnsProcess {
+            p: p0.clamp(0.0, 1.0),
+            noise: Gaussian::new(0.0, q_std).expect("q_std must be positive"),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ProbabilityProcess for LnsProcess {
+    fn next_p(&mut self) -> f64 {
+        let current = self.p;
+        let mut next = self.p + self.noise.sample(&mut self.rng);
+        // Reflect at the boundaries so the walk stays a probability
+        // without sticking to 0 or 1.
+        if next < 0.0 {
+            next = -next;
+        }
+        if next > 1.0 {
+            next = 2.0 - next;
+        }
+        self.p = next.clamp(0.0, 1.0);
+        current
+    }
+}
+
+/// Sinusoidal process (`Sin`).
+#[derive(Debug)]
+pub struct SinProcess {
+    a: f64,
+    b: f64,
+    h: f64,
+    t: u64,
+}
+
+impl SinProcess {
+    /// Paper defaults: `A = 0.05`, `b = 0.01`, `h = 0.075`.
+    pub fn new() -> Self {
+        Self::with_params(0.05, 0.01, 0.075)
+    }
+
+    /// Custom amplitude/frequency/offset; Fig. 6(d) sweeps
+    /// `b ∈ {1/200, 1/100, 1/50, 1/25}`.
+    pub fn with_params(a: f64, b: f64, h: f64) -> Self {
+        SinProcess { a, b, h, t: 0 }
+    }
+}
+
+impl Default for SinProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbabilityProcess for SinProcess {
+    fn next_p(&mut self) -> f64 {
+        let p = self.a * (self.b * self.t as f64).sin() + self.h;
+        self.t += 1;
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// Logistic-growth process (`Log`).
+#[derive(Debug)]
+pub struct LogProcess {
+    a: f64,
+    b: f64,
+    t: u64,
+}
+
+impl LogProcess {
+    /// Paper defaults: `A = 0.25`, `b = 0.01`.
+    pub fn new() -> Self {
+        Self::with_params(0.25, 0.01)
+    }
+
+    /// Custom asymptote and growth rate.
+    pub fn with_params(a: f64, b: f64) -> Self {
+        LogProcess { a, b, t: 0 }
+    }
+}
+
+impl Default for LogProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbabilityProcess for LogProcess {
+    fn next_p(&mut self) -> f64 {
+        let p = self.a / (1.0 + (-self.b * self.t as f64).exp());
+        self.t += 1;
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// Binary stream driven by a probability process: at each timestamp
+/// `round(p_t · N)` users hold value 1.
+pub struct BinaryStream<P: ProbabilityProcess> {
+    name: String,
+    domain: Domain,
+    population: u64,
+    process: P,
+    len: usize,
+}
+
+impl<P: ProbabilityProcess> BinaryStream<P> {
+    /// Wrap a probability process.
+    pub fn new(name: impl Into<String>, population: u64, len: usize, process: P) -> Self {
+        BinaryStream {
+            name: name.into(),
+            domain: Domain::binary(),
+            population,
+            process,
+            len,
+        }
+    }
+}
+
+impl<P: ProbabilityProcess> StreamSource for BinaryStream<P> {
+    fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn population(&self) -> u64 {
+        self.population
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.len)
+    }
+
+    fn next_histogram(&mut self) -> TrueHistogram {
+        let p = self.process.next_p();
+        let ones = ((p * self.population as f64).round() as u64).min(self.population);
+        TrueHistogram::new(vec![self.population - ones, ones])
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The paper's `LNS` dataset with default parameters.
+pub fn lns(seed: u64) -> BinaryStream<LnsProcess> {
+    BinaryStream::new(
+        "lns",
+        DEFAULT_POPULATION,
+        DEFAULT_LEN,
+        LnsProcess::new(seed),
+    )
+}
+
+/// The paper's `Sin` dataset with default parameters.
+pub fn sin() -> BinaryStream<SinProcess> {
+    BinaryStream::new("sin", DEFAULT_POPULATION, DEFAULT_LEN, SinProcess::new())
+}
+
+/// The paper's `Log` dataset with default parameters.
+pub fn log() -> BinaryStream<LogProcess> {
+    BinaryStream::new("log", DEFAULT_POPULATION, DEFAULT_LEN, LogProcess::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lns_starts_at_p0_and_stays_in_bounds() {
+        let mut proc = LnsProcess::new(1);
+        let first = proc.next_p();
+        assert!((first - 0.05).abs() < 1e-12);
+        for _ in 0..10_000 {
+            let p = proc.next_p();
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn lns_is_seeded() {
+        let mut a = LnsProcess::new(7);
+        let mut b = LnsProcess::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_p(), b.next_p());
+        }
+        let mut c = LnsProcess::new(8);
+        c.next_p();
+        // After the deterministic first step the walks should diverge.
+        let diverged = (0..100).any(|_| {
+            let mut a2 = LnsProcess::new(7);
+            a2.next_p();
+            a2.next_p() != c.next_p()
+        });
+        assert!(diverged);
+    }
+
+    #[test]
+    fn lns_fluctuation_scales_with_q() {
+        let run = |q_std: f64| -> f64 {
+            let mut proc = LnsProcess::with_params(3, 0.5, q_std);
+            let ps: Vec<f64> = (0..500).map(|_| proc.next_p()).collect();
+            let diffs: Vec<f64> = ps.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+            ldp_util::stats::mean(&diffs)
+        };
+        assert!(run(0.008) > 2.0 * run(0.001));
+    }
+
+    #[test]
+    fn sin_matches_formula() {
+        let mut proc = SinProcess::new();
+        for t in 0..100u64 {
+            let expected = 0.05 * (0.01 * t as f64).sin() + 0.075;
+            assert!((proc.next_p() - expected).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn log_matches_formula_and_saturates() {
+        let mut proc = LogProcess::new();
+        let first = proc.next_p();
+        assert!((first - 0.125).abs() < 1e-9, "p_0 = A/2");
+        let mut last = first;
+        for _ in 0..2000 {
+            last = proc.next_p();
+        }
+        assert!((last - 0.25).abs() < 1e-3, "saturates to A, got {last}");
+    }
+
+    #[test]
+    fn binary_stream_counts_match_process() {
+        let mut s = BinaryStream::new("sin-test", 1000, 10, SinProcess::new());
+        assert_eq!(s.domain().size(), 2);
+        let h = s.next_histogram();
+        // p_0 = 0.075 → 75 ones.
+        assert_eq!(h.count(1), 75);
+        assert_eq!(h.population(), 1000);
+    }
+
+    #[test]
+    fn default_datasets_have_paper_shapes() {
+        let mut l = lns(1);
+        assert_eq!(l.population(), 200_000);
+        assert_eq!(l.len_hint(), Some(800));
+        assert_eq!(l.name(), "lns");
+        let h = l.next_histogram();
+        assert_eq!(h.population(), 200_000);
+        assert_eq!(sin().len_hint(), Some(800));
+        assert_eq!(log().population(), 200_000);
+    }
+
+    #[test]
+    fn reflection_keeps_walk_alive_at_boundary() {
+        // Start at 0 with large noise: the reflected walk must move.
+        let mut proc = LnsProcess::with_params(5, 0.0, 0.1);
+        proc.next_p();
+        let moved = (0..50).any(|_| proc.next_p() > 0.0);
+        assert!(moved);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the stream data model.
+
+use ldp_stream::source::ReplaySource;
+use ldp_stream::{RingWindow, Snapshot, StreamSource, TrueHistogram};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// RingWindow behaves like the last-w slice of a growing Vec.
+    #[test]
+    fn ring_window_matches_vec_model(
+        values in proptest::collection::vec(0u64..1000, 1..100),
+        w in 1usize..12,
+    ) {
+        let mut window = RingWindow::new(w);
+        let mut model: Vec<u64> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let evicted = window.push(v);
+            model.push(v);
+            // Eviction: exactly the value from w steps ago.
+            if i >= w {
+                prop_assert_eq!(evicted, Some(model[i - w]));
+            } else {
+                prop_assert_eq!(evicted, None);
+            }
+            let tail: Vec<u64> = model[model.len().saturating_sub(w)..].to_vec();
+            let contents: Vec<u64> = window.iter().copied().collect();
+            prop_assert_eq!(&contents, &tail, "window contents mismatch");
+            prop_assert_eq!(window.sum_u64(), tail.iter().sum::<u64>());
+            prop_assert_eq!(window.newest(), tail.last());
+            prop_assert_eq!(window.len(), tail.len());
+        }
+    }
+
+    /// Histogram frequencies always form a distribution (or all-zero).
+    #[test]
+    fn histogram_frequencies_normalize(
+        counts in proptest::collection::vec(0u64..10_000, 2..10),
+    ) {
+        let h = TrueHistogram::new(counts.clone());
+        let freqs = h.frequencies();
+        let total: f64 = freqs.iter().sum();
+        if h.population() == 0 {
+            prop_assert_eq!(total, 0.0);
+        } else {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        for (f, &c) in freqs.iter().zip(&counts) {
+            prop_assert!((f - c as f64 / h.population().max(1) as f64).abs() < 1e-12);
+        }
+    }
+
+    /// Snapshot::from_histogram is an exact inverse of to_histogram.
+    #[test]
+    fn snapshot_roundtrips_histogram(
+        counts in proptest::collection::vec(0u64..500, 2..8),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let h = TrueHistogram::new(counts);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let snap = Snapshot::from_histogram(&h, &mut rng);
+        prop_assert_eq!(snap.to_histogram(), h);
+    }
+
+    /// ReplaySource cycles its sequence indefinitely.
+    #[test]
+    fn replay_source_cycles(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(1u64..100, 3..=3), 1..6),
+        laps in 1usize..4,
+    ) {
+        let seq: Vec<TrueHistogram> = rows.iter().cloned().map(TrueHistogram::new).collect();
+        let mut source = ReplaySource::new("prop", seq.clone());
+        for lap in 0..laps {
+            for (i, expected) in seq.iter().enumerate() {
+                let got = source.next_histogram();
+                prop_assert_eq!(&got, expected, "lap {} item {}", lap, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Walker alias method for O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! The workload simulators draw millions of per-user categorical values
+//! per timestamp (e.g. Taobao's 10⁶ users); inverse-CDF sampling would pay
+//! `O(log d)` per draw and the alias table pays `O(1)` after `O(d)` setup.
+
+use crate::ParamError;
+use rand::Rng;
+
+/// Precomputed alias table over `weights.len()` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights (at least one must
+    /// be positive).
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::Empty { name: "weights" });
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(ParamError::NonFinite {
+                name: "weights.len",
+                value: weights.len() as f64,
+            });
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::NonFinite {
+                    name: "weights",
+                    value: w,
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ParamError::NonPositive {
+                name: "weights.sum",
+                value: total,
+            });
+        }
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are 1.0 up to rounding.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[-1.0, 1.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 7]).unwrap();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut counts = vec![0u64; 7];
+        let n = 140_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let rel = (c as f64 - n as f64 / 7.0).abs() / (n as f64 / 7.0);
+            assert!(rel < 0.03, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_sample_proportionally() {
+        let weights = [1.0, 0.0, 3.0, 6.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight bin must never be sampled");
+        let f0 = counts[0] as f64 / n as f64;
+        let f3 = counts[3] as f64 / n as f64;
+        assert!((f0 - 0.1).abs() < 0.01, "f0 {f0}");
+        assert!((f3 - 0.6).abs() < 0.01, "f3 {f3}");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        assert_eq!(t.len(), 1);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn matches_zipf_pmf() {
+        // Cross-check two independent samplers against each other.
+        let z = crate::Zipf::new(6, 1.3).unwrap();
+        let weights: Vec<f64> = (0..6).map(|k| z.pmf(k)).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts = [0u64; 6];
+        let n = 120_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Binomial and multinomial sampling for the aggregate-level collector.
+//!
+//! The `AggregateCollector` (see `ldp-ids`) simulates the *sum* of many
+//! users' perturbed reports instead of perturbing each user individually:
+//! for GRR, the users holding value `k` contribute `Bin(n_k, p)` truthful
+//! reports, and each liar picks uniformly from the remaining `d − 1`
+//! values — a uniform multinomial, sampled exactly by sequential binomial
+//! splitting. These helpers make that path exact and fast for the paper's
+//! populations (up to 10⁶ users).
+
+use crate::{ensure_probability, ParamError};
+use rand::Rng;
+use rand_distr::{Binomial, Distribution};
+
+/// Draw `Bin(n, p)` exactly.
+///
+/// Delegates to `rand_distr`'s BTPE-based sampler, with short-circuits for
+/// the degenerate ends so callers can pass `p ∈ {0, 1}` freely.
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> Result<u64, ParamError> {
+    let p = ensure_probability("p", p)?;
+    if n == 0 || p == 0.0 {
+        return Ok(0);
+    }
+    if p == 1.0 {
+        return Ok(n);
+    }
+    let dist = Binomial::new(n, p).map_err(|_| ParamError::NotAProbability {
+        name: "p",
+        value: p,
+    })?;
+    Ok(dist.sample(rng))
+}
+
+/// Split `n` items into "kept" and "dropped" with keep-probability `p`.
+pub fn split_binomial<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    p: f64,
+) -> Result<(u64, u64), ParamError> {
+    let kept = sample_binomial(rng, n, p)?;
+    Ok((kept, n - kept))
+}
+
+/// Distribute `n` items uniformly at random over `bins` bins, exactly.
+///
+/// Sequential binomial splitting: bin `i` receives
+/// `Bin(remaining, 1 / (bins − i))`. The result is an exact uniform
+/// multinomial sample in `O(bins)` binomial draws.
+pub fn sample_multinomial_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    bins: usize,
+) -> Result<Vec<u64>, ParamError> {
+    if bins == 0 {
+        return Err(ParamError::Empty { name: "bins" });
+    }
+    let mut out = vec![0u64; bins];
+    let mut remaining = n;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let left = (bins - i) as f64;
+        if remaining == 0 {
+            break;
+        }
+        if i + 1 == bins {
+            *slot = remaining;
+            break;
+        }
+        let take = sample_binomial(rng, remaining, 1.0 / left)?;
+        *slot = take;
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Distribute `n` items over bins with the given (not necessarily
+/// normalized) non-negative weights, exactly, by conditional splitting.
+pub fn sample_multinomial_weighted<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    weights: &[f64],
+) -> Result<Vec<u64>, ParamError> {
+    if weights.is_empty() {
+        return Err(ParamError::Empty { name: "weights" });
+    }
+    let mut total: f64 = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(ParamError::NonFinite {
+                name: "weights",
+                value: weights[i],
+            });
+        }
+        total += w;
+    }
+    let mut out = vec![0u64; weights.len()];
+    if n == 0 {
+        return Ok(out);
+    }
+    if total <= 0.0 {
+        return Err(ParamError::NonPositive {
+            name: "weights.sum",
+            value: total,
+        });
+    }
+    let mut remaining = n;
+    let mut mass_left = total;
+    for (i, &w) in weights.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        if i + 1 == weights.len() {
+            out[i] = remaining;
+            break;
+        }
+        let p = (w / mass_left).clamp(0.0, 1.0);
+        let take = sample_binomial(rng, remaining, p)?;
+        out[i] = take;
+        remaining -= take;
+        mass_left -= w;
+        if mass_left <= 0.0 {
+            // All residual mass was in this bin; nothing left for later bins.
+            break;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_degenerate_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5).unwrap(), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0).unwrap(), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0).unwrap(), 10);
+    }
+
+    #[test]
+    fn binomial_rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_binomial(&mut rng, 10, -0.1).is_err());
+        assert!(sample_binomial(&mut rng, 10, 1.1).is_err());
+        assert!(sample_binomial(&mut rng, 10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_binomial(&mut rng, 100, 0.3).unwrap())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 30.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn split_binomial_partitions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (a, b) = split_binomial(&mut rng, 57, 0.4).unwrap();
+            assert_eq!(a + b, 57);
+        }
+    }
+
+    #[test]
+    fn multinomial_uniform_sums_to_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bins in [1usize, 2, 5, 117] {
+            let counts = sample_multinomial_uniform(&mut rng, 1000, bins).unwrap();
+            assert_eq!(counts.len(), bins);
+            assert_eq!(counts.iter().sum::<u64>(), 1000);
+        }
+    }
+
+    #[test]
+    fn multinomial_uniform_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bins = 8;
+        let mut acc = vec![0u64; bins];
+        for _ in 0..200 {
+            let counts = sample_multinomial_uniform(&mut rng, 10_000, bins).unwrap();
+            for (a, c) in acc.iter_mut().zip(counts) {
+                *a += c;
+            }
+        }
+        let expected = 200.0 * 10_000.0 / bins as f64;
+        for &a in &acc {
+            let rel = (a as f64 - expected).abs() / expected;
+            assert!(rel < 0.02, "bin count {a} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn multinomial_uniform_rejects_zero_bins() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(sample_multinomial_uniform(&mut rng, 10, 0).is_err());
+    }
+
+    #[test]
+    fn multinomial_weighted_sums_to_n() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let counts = sample_multinomial_weighted(&mut rng, 5000, &w).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5000);
+    }
+
+    #[test]
+    fn multinomial_weighted_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = [1.0, 3.0];
+        let mut first = 0u64;
+        let rounds = 200;
+        for _ in 0..rounds {
+            first += sample_multinomial_weighted(&mut rng, 1000, &w).unwrap()[0];
+        }
+        let frac = first as f64 / (rounds as f64 * 1000.0);
+        assert!((frac - 0.25).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn multinomial_weighted_zero_weight_bins_get_nothing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = [0.0, 1.0, 0.0];
+        let counts = sample_multinomial_weighted(&mut rng, 1000, &w).unwrap();
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert_eq!(counts[1], 1000);
+    }
+
+    #[test]
+    fn multinomial_weighted_rejects_bad_weights() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(sample_multinomial_weighted(&mut rng, 10, &[]).is_err());
+        assert!(sample_multinomial_weighted(&mut rng, 10, &[-1.0, 2.0]).is_err());
+        assert!(sample_multinomial_weighted(&mut rng, 10, &[0.0, 0.0]).is_err());
+        assert!(sample_multinomial_weighted(&mut rng, 0, &[0.0, 0.0]).is_ok());
+    }
+}

@@ -1,0 +1,109 @@
+//! Gaussian distribution wrapper.
+//!
+//! The LNS synthetic generator (paper §7.1.1) evolves its probability
+//! process with `p_t = p_{t-1} + N(0, Q)`. Sampling delegates to
+//! `rand_distr::StandardNormal` (Ziggurat); this wrapper adds parameter
+//! validation and the couple of closed forms the tests need.
+
+use crate::{ensure_positive, ParamError};
+use rand::Rng;
+use rand_distr::StandardNormal;
+
+/// Normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Create a Gaussian; `sigma` must be finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() {
+            return Err(ParamError::NonFinite {
+                name: "mu",
+                value: mu,
+            });
+        }
+        Ok(Gaussian {
+            mu,
+            sigma: ensure_positive("sigma", sigma)?,
+        })
+    }
+
+    /// Standard normal.
+    pub fn standard() -> Self {
+        Gaussian {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Variance `σ²`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z: f64 = rng.sample(StandardNormal);
+        self.mu + self.sigma * z
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-(z * z) / 2.0).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, sample_variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -0.1).is_err());
+        assert!(Gaussian::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn standard_is_zero_one() {
+        let g = Gaussian::standard();
+        assert_eq!(g.mu(), 0.0);
+        assert_eq!(g.sigma(), 1.0);
+        assert_eq!(g.variance(), 1.0);
+    }
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let g = Gaussian::new(3.0, 2.0).unwrap();
+        assert!(g.pdf(3.0) > g.pdf(2.0));
+        assert!(g.pdf(3.0) > g.pdf(4.0));
+        let expected_peak = 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((g.pdf(3.0) - expected_peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let g = Gaussian::new(-1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        assert!((mean(&xs) + 1.0).abs() < 0.01);
+        assert!((sample_variance(&xs) - 0.25).abs() < 0.01);
+    }
+}

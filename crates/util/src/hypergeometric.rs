@@ -1,0 +1,307 @@
+//! Multivariate hypergeometric sampling.
+//!
+//! The population-division mechanisms have a uniformly random subset of
+//! `k` users report at each round. Conditional on the full true counts,
+//! that subset's value histogram is a multivariate hypergeometric draw —
+//! which is how the aggregate collector simulates group formation without
+//! tracking individual users. Sampled exactly by sequential univariate
+//! hypergeometric conditioning.
+//!
+//! The univariate draws delegate to `rand_distr`'s H2PE implementation,
+//! with one caveat: `rand_distr` 0.4's inverse-transform branch computes
+//! `P(X = 0)` by interleaved factorial products that can overflow to
+//! `inf/inf` for populations in the tens of thousands, surfacing as a
+//! spurious `PopulationTooLarge` error. When that happens we fall back to
+//! [`sample_hypergeometric_logspace`], an exact inverse-transform sampler
+//! whose pmf starts in log space and therefore cannot overflow.
+
+use crate::ParamError;
+use rand::Rng;
+use rand_distr::{Distribution, Hypergeometric};
+
+/// Draw the cell counts of a uniformly random `k`-subset of a population
+/// described by `counts` (sampling without replacement).
+///
+/// Returns an error if `k` exceeds the population.
+pub fn sample_multivariate_hypergeometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    counts: &[u64],
+    k: u64,
+) -> Result<Vec<u64>, ParamError> {
+    if counts.is_empty() {
+        return Err(ParamError::Empty { name: "counts" });
+    }
+    let total: u64 = counts.iter().sum();
+    if k > total {
+        return Err(ParamError::NonFinite {
+            name: "k",
+            value: k as f64,
+        });
+    }
+    let mut out = vec![0u64; counts.len()];
+    let mut remaining_pop = total;
+    let mut remaining_draws = k;
+    for (i, &cell) in counts.iter().enumerate() {
+        if remaining_draws == 0 {
+            break;
+        }
+        if remaining_pop == cell {
+            // Everything left is in this cell (later cells are all zero).
+            out[i] = remaining_draws.min(cell);
+            remaining_draws -= out[i];
+            remaining_pop -= cell;
+            continue;
+        }
+        // x_i ~ Hypergeometric(N = remaining_pop, K = cell, n = remaining_draws)
+        let draw = if cell == 0 {
+            0
+        } else {
+            sample_hypergeometric(rng, remaining_pop, cell, remaining_draws)
+        };
+        out[i] = draw;
+        remaining_draws -= draw;
+        remaining_pop -= cell;
+    }
+    Ok(out)
+}
+
+/// One univariate hypergeometric draw: `rand_distr` when it accepts the
+/// parameters, the log-space sampler when it balks.
+pub fn sample_hypergeometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_total: u64,
+    k_featured: u64,
+    n_draws: u64,
+) -> u64 {
+    debug_assert!(k_featured <= n_total && n_draws <= n_total);
+    match Hypergeometric::new(n_total, k_featured, n_draws) {
+        Ok(dist) => dist.sample(rng),
+        // rand_distr 0.4 factorial-product overflow; see module docs.
+        Err(_) => sample_hypergeometric_logspace(rng, n_total, k_featured, n_draws),
+    }
+}
+
+/// Exact inverse-transform hypergeometric sampler with a log-space pmf
+/// seed.
+///
+/// Walks the support upward from `x_min = max(0, n − (N − K))` using the
+/// pmf recurrence
+/// `P(x+1) = P(x) · (K−x)(n−x) / ((x+1)(N−K−n+x+1))`,
+/// seeding `ln P(x_min)` from log-gamma so no intermediate quantity can
+/// overflow. Expected work is O(mode − x_min + sd), fine for the
+/// small-mode parameter corner that triggers the fallback.
+pub fn sample_hypergeometric_logspace<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_total: u64,
+    k_featured: u64,
+    n_draws: u64,
+) -> u64 {
+    let (nn, kk, n) = (n_total as f64, k_featured as f64, n_draws as f64);
+    let x_min = n_draws.saturating_sub(n_total - k_featured);
+    let x_max = k_featured.min(n_draws);
+    if x_min == x_max {
+        return x_min;
+    }
+    // ln P(x_min) = ln C(K, x) + ln C(N−K, n−x) − ln C(N, n).
+    let x = x_min as f64;
+    let ln_p0 = ln_choose(kk, x) + ln_choose(nn - kk, n - x) - ln_choose(nn, n);
+    let mut p = ln_p0.exp();
+    let mut cdf = p;
+    let u: f64 = rng.gen();
+    let mut x = x_min;
+    while cdf < u && x < x_max {
+        let xf = x as f64;
+        let ratio = ((kk - xf) * (n - xf)) / ((xf + 1.0) * (nn - kk - n + xf + 1.0));
+        p *= ratio;
+        cdf += p;
+        x += 1;
+        // Guard against floating residue keeping cdf < u past the top of
+        // the support: the loop bound on x_max already ends the walk.
+    }
+    x
+}
+
+/// `ln C(n, k)` via log-gamma.
+fn ln_choose(n: f64, k: f64) -> f64 {
+    if k < 0.0 || k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, n = 9
+/// coefficients; |relative error| < 1e-13 over the domain we use).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    // Reflection is unnecessary for x > 0.5; our callers pass x ≥ 1.
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_sum_to_k_and_respect_cells() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = [100u64, 0, 250, 50];
+        for k in [0u64, 1, 57, 400] {
+            let draw = sample_multivariate_hypergeometric(&mut rng, &counts, k).unwrap();
+            assert_eq!(draw.iter().sum::<u64>(), k);
+            for (d, c) in draw.iter().zip(&counts) {
+                assert!(d <= c, "cell draw {d} exceeds cell count {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_draw_returns_all_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = [7u64, 3, 12];
+        let draw = sample_multivariate_hypergeometric(&mut rng, &counts, 22).unwrap();
+        assert_eq!(draw, counts.to_vec());
+    }
+
+    #[test]
+    fn rejects_overdraw_and_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_multivariate_hypergeometric(&mut rng, &[1, 2], 4).is_err());
+        assert!(sample_multivariate_hypergeometric(&mut rng, &[], 0).is_err());
+    }
+
+    #[test]
+    fn mean_is_proportional() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = [6000u64, 3000, 1000];
+        let k = 1000u64;
+        let trials = 2000;
+        let mut acc = [0u64; 3];
+        for _ in 0..trials {
+            let d = sample_multivariate_hypergeometric(&mut rng, &counts, k).unwrap();
+            for (a, x) in acc.iter_mut().zip(d) {
+                *a += x;
+            }
+        }
+        for (i, &a) in acc.iter().enumerate() {
+            let emp = a as f64 / (trials as f64 * k as f64);
+            let expected = counts[i] as f64 / 10_000.0;
+            assert!(
+                (emp - expected).abs() < 0.01,
+                "cell {i}: {emp} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_draw_is_all_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = sample_multivariate_hypergeometric(&mut rng, &[5, 5], 0).unwrap();
+        assert_eq!(d, vec![0, 0]);
+    }
+
+    #[test]
+    fn variance_shrinks_vs_binomial() {
+        // Without-replacement draws of most of the population have lower
+        // variance than with-replacement; sanity check the finite
+        // correction: drawing N−1 of N leaves variance near zero.
+        let mut rng = StdRng::seed_from_u64(6);
+        let counts = [500u64, 500];
+        let vals: Vec<f64> = (0..500)
+            .map(|_| sample_multivariate_hypergeometric(&mut rng, &counts, 999).unwrap()[0] as f64)
+            .collect();
+        let var = crate::stats::sample_variance(&vals);
+        assert!(var < 1.0, "variance {var} should be tiny");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(11) = 3628800.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(11.0) - 3_628_800f64.ln()).abs() < 1e-8);
+        // Large argument against Stirling: ln Γ(1e5).
+        let x: f64 = 1e5;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((ln_gamma(x) - stirling).abs() / stirling < 1e-6);
+    }
+
+    #[test]
+    fn logspace_sampler_handles_rand_distr_failure_corner() {
+        // The exact parameter triple that overflows rand_distr 0.4's
+        // factorial products (observed from an LPD run).
+        let mut rng = StdRng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..4000)
+            .map(|_| sample_hypergeometric_logspace(&mut rng, 37_500, 3_732, 78) as f64)
+            .collect();
+        let emp_mean = crate::stats::mean(&vals);
+        let expected = 78.0 * 3_732.0 / 37_500.0; // n·K/N ≈ 7.76
+        assert!(
+            (emp_mean - expected).abs() < 0.25,
+            "mean {emp_mean} vs {expected}"
+        );
+        for &v in &vals {
+            assert!(v <= 78.0);
+        }
+    }
+
+    #[test]
+    fn logspace_sampler_matches_rand_distr_moments() {
+        // On friendly parameters both samplers must agree in mean and
+        // variance.
+        let (nn, kk, n) = (1000u64, 300u64, 100u64);
+        let mut rng = StdRng::seed_from_u64(8);
+        let ours: Vec<f64> = (0..6000)
+            .map(|_| sample_hypergeometric_logspace(&mut rng, nn, kk, n) as f64)
+            .collect();
+        let theirs: Vec<f64> = {
+            let dist = Hypergeometric::new(nn, kk, n).unwrap();
+            (0..6000).map(|_| dist.sample(&mut rng) as f64).collect()
+        };
+        let (m1, m2) = (crate::stats::mean(&ours), crate::stats::mean(&theirs));
+        assert!((m1 - m2).abs() < 0.5, "means {m1} vs {m2}");
+        let (v1, v2) = (
+            crate::stats::sample_variance(&ours),
+            crate::stats::sample_variance(&theirs),
+        );
+        assert!((v1 - v2).abs() / v2 < 0.15, "variances {v1} vs {v2}");
+    }
+
+    #[test]
+    fn logspace_sampler_degenerate_support() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Forced full overlap: N = K = n.
+        assert_eq!(sample_hypergeometric_logspace(&mut rng, 10, 10, 10), 10);
+        // Empty draw.
+        assert_eq!(sample_hypergeometric_logspace(&mut rng, 10, 10, 0), 0);
+    }
+
+    #[test]
+    fn multivariate_survives_large_population_small_mode() {
+        // End-to-end regression for the LPD failure: large population,
+        // skewed cells, small draw.
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let d = sample_multivariate_hypergeometric(&mut rng, &[33_768, 3_732], 78).unwrap();
+            assert_eq!(d.iter().sum::<u64>(), 78);
+        }
+    }
+}

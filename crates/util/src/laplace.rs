@@ -1,0 +1,148 @@
+//! Laplace distribution, the noise primitive of the centralized baseline.
+//!
+//! The w-event CDP methods of Kellaris et al. (paper §3.2) publish
+//! `c_t + ⟨Lap(1/ε)⟩^d`. We sample by inverse CDF, which is exact and
+//! branch-light: for `u ~ Uniform(-1/2, 1/2)`,
+//! `x = μ − b·sign(u)·ln(1 − 2|u|)`.
+
+use crate::{ensure_positive, ParamError};
+use rand::Rng;
+
+/// Laplace distribution with location `mu` and scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    mu: f64,
+    b: f64,
+}
+
+impl Laplace {
+    /// Create a Laplace distribution. `scale` must be finite and positive.
+    pub fn new(mu: f64, scale: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() {
+            return Err(ParamError::NonFinite {
+                name: "mu",
+                value: mu,
+            });
+        }
+        Ok(Laplace {
+            mu,
+            b: ensure_positive("scale", scale)?,
+        })
+    }
+
+    /// Zero-centred Laplace noise with the scale used by an ε-DP release of
+    /// a sensitivity-`sensitivity` statistic.
+    pub fn for_budget(sensitivity: f64, epsilon: f64) -> Result<Self, ParamError> {
+        let s = ensure_positive("sensitivity", sensitivity)?;
+        let e = ensure_positive("epsilon", epsilon)?;
+        Laplace::new(0.0, s / e)
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.b
+    }
+
+    /// Variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.b * self.b
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (-1/2, 1/2]; clamp the open end to avoid ln(0).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let magnitude = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+        self.mu - self.b * u.signum() * magnitude
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x - self.mu).abs() / self.b).exp() / (2.0 * self.b)
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.b;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, sample_variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+        assert!(Laplace::for_budget(1.0, 0.0).is_err());
+        assert!(Laplace::for_budget(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn for_budget_scale_is_sensitivity_over_epsilon() {
+        let l = Laplace::for_budget(2.0, 0.5).unwrap();
+        assert!((l.scale() - 4.0).abs() < 1e-12);
+        assert_eq!(l.mu(), 0.0);
+    }
+
+    #[test]
+    fn variance_formula() {
+        let l = Laplace::new(0.0, 3.0).unwrap();
+        assert!((l.variance() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let l = Laplace::new(1.0, 0.7).unwrap();
+        let mut total = 0.0;
+        let step = 0.001;
+        let mut x = -30.0;
+        while x < 30.0 {
+            total += l.pdf(x) * step;
+            x += step;
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral {total}");
+    }
+
+    #[test]
+    fn cdf_matches_pdf_shape() {
+        let l = Laplace::new(0.0, 1.0).unwrap();
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(l.cdf(-10.0) < 1e-4);
+        assert!(l.cdf(10.0) > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let l = Laplace::new(2.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..200_000).map(|_| l.sample(&mut rng)).collect();
+        let m = mean(&xs);
+        let v = sample_variance(&xs);
+        assert!((m - 2.0).abs() < 0.02, "mean {m}");
+        assert!((v - l.variance()).abs() / l.variance() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn sample_median_is_mu() {
+        let l = Laplace::new(-3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let below = (0..100_000).filter(|_| l.sample(&mut rng) < -3.0).count() as f64;
+        assert!((below / 100_000.0 - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,141 @@
+//! Zipf-distributed sampling over a finite domain.
+//!
+//! The Foursquare and Taobao workload simulators assign users heavy-tailed
+//! "home" categories: check-in and click popularity across countries and
+//! ad categories is famously Zipfian. Sampling uses a precomputed inverse
+//! CDF (binary search), which is exact and `O(log d)` per draw.
+
+use crate::{ensure_positive, ParamError};
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(k) ∝ (k + 1)^{-s}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::Empty { name: "n" });
+        }
+        let s = ensure_positive("s", s)?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Zipf { cdf, s })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain has no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf[i] >= u — exactly the inverse CDF.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = Zipf::new(20, 1.0).unwrap();
+        for k in 1..20 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        let z = Zipf::new(5, 1.0).unwrap();
+        assert_eq!(z.pmf(5), 0.0);
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn sample_frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0u64; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().take(10) {
+            let emp = c as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

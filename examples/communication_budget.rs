@@ -1,0 +1,67 @@
+//! Communication budgeting for constrained devices (paper §5.4.3/§6.3.3).
+//!
+//! Population division doesn't just improve utility — it cuts uplink
+//! traffic by ~w×, which decides battery life for LPWAN/NB-IoT class
+//! devices. This example runs the full client/server *protocol*
+//! simulation (real per-device state machines, counted messages and
+//! bytes) and compares measured traffic against the paper's closed-form
+//! CFPU expressions.
+//!
+//! Run with: `cargo run --release --example communication_budget`
+
+use ldp_ids::runner::{run_on_materialized, CollectorMode};
+use ldp_ids::{MechanismConfig, MechanismKind};
+use ldp_metrics::{cfpu_lba_lbd, cfpu_lbu, cfpu_lpa, cfpu_lpd, cfpu_lpu_lsp, Table};
+use ldp_stream::{Dataset, MaterializedStream};
+
+fn main() {
+    // Small population: the client simulation drives every device.
+    let dataset = Dataset::Lns {
+        population: 5_000,
+        len: 100,
+        p0: 0.05,
+        q_std: 0.0025,
+    };
+    let stream = MaterializedStream::from_dataset(&dataset, 31);
+    let w = 20;
+    let config = MechanismConfig::new(1.0, w, stream.domain().size(), stream.population());
+
+    println!(
+        "driving {} real client state machines for {} steps (w = {w})…\n",
+        stream.population(),
+        stream.len()
+    );
+
+    let mut table = Table::new(vec![
+        "mechanism",
+        "CFPU measured",
+        "CFPU theory",
+        "uplink KB",
+        "KB/device",
+    ]);
+    for kind in MechanismKind::ALL {
+        let mut mech = kind.build(&config).expect("valid configuration");
+        let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Client, 8);
+        // Per-window publication count for the closed forms.
+        let windows = stream.len() as f64 / w as f64;
+        let m = (result.publications as f64 / windows).round() as u64;
+        let theory = match kind {
+            MechanismKind::Lbu => cfpu_lbu(),
+            MechanismKind::Lsp | MechanismKind::Lpu => cfpu_lpu_lsp(w),
+            MechanismKind::Lbd | MechanismKind::Lba => cfpu_lba_lbd(m, w),
+            MechanismKind::Lpd => cfpu_lpd(m, w),
+            MechanismKind::Lpa => cfpu_lpa(m, w),
+        };
+        let kb = result.stats.uplink_bytes as f64 / 1024.0;
+        table.push_row(vec![
+            kind.name().to_string(),
+            format!("{:.4}", result.cfpu),
+            format!("{:.4}", theory),
+            format!("{:.1}", kb),
+            format!("{:.3}", kb / stream.population() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("population division sends ~w x fewer messages at the same epsilon;");
+    println!("the adaptive variants (lpd/lpa) save further by skipping quiet steps.");
+}

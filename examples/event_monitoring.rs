@@ -1,0 +1,74 @@
+//! Real-time event monitoring over a private stream (paper §7.4).
+//!
+//! The server watches the released stream for *above-threshold events* —
+//! timestamps where the monitored statistic exceeds
+//! δ = 0.75·(max − min) + min — without ever seeing raw data. This
+//! example runs the paper's Fig. 7 task on a fast-moving synthetic
+//! stream and prints each mechanism's detection quality (ROC/AUC),
+//! illustrating the paper's finding that LSP's excellent MRE hides poor
+//! responsiveness.
+//!
+//! Run with: `cargo run --release --example event_monitoring`
+
+use ldp_ids::runner::{run_on_materialized, CollectorMode};
+use ldp_ids::{MechanismConfig, MechanismKind};
+use ldp_metrics::{roc_points, Table};
+use ldp_stream::{paper_threshold, Dataset, MaterializedStream, MonitorStat};
+
+fn main() {
+    // A sinusoid fast enough that its peaks are genuine "events".
+    let dataset = Dataset::Sin {
+        population: 100_000,
+        len: 300,
+        a: 0.05,
+        b: 0.1,
+        h: 0.075,
+    };
+    let stream = MaterializedStream::from_dataset(&dataset, 99);
+    let truth = stream.frequency_matrix();
+
+    // Ground truth: which steps are above threshold?
+    let stat = MonitorStat::Cell(1);
+    let true_series = stat.series(&truth);
+    let delta = paper_threshold(&true_series);
+    let labels: Vec<bool> = true_series.iter().map(|&s| s > delta).collect();
+    let positives = labels.iter().filter(|&&l| l).count();
+    println!(
+        "threshold delta = {delta:.4}; {positives} of {} steps are true events",
+        labels.len()
+    );
+
+    let config = MechanismConfig::new(1.0, 50, stream.domain().size(), stream.population());
+    let mut table = Table::new(vec!["mechanism", "AUC", "TPR@FPR<=0.1", "MRE"]);
+    for kind in [
+        MechanismKind::Lba,
+        MechanismKind::Lsp,
+        MechanismKind::Lpu,
+        MechanismKind::Lpd,
+        MechanismKind::Lpa,
+    ] {
+        let mut mech = kind.build(&config).expect("valid configuration");
+        let result = run_on_materialized(mech.as_mut(), &stream, CollectorMode::Aggregate, 4);
+        let released = result.frequency_matrix();
+        let scores = stat.series(&released);
+        let curve = roc_points(&scores, &labels);
+        // Best TPR while keeping FPR at or below 10%.
+        let tpr_at = curve
+            .points
+            .iter()
+            .filter(|p| p.fpr <= 0.1)
+            .map(|p| p.tpr)
+            .fold(0.0f64, f64::max);
+        let mre = ldp_metrics::mre(&released, &truth, ldp_metrics::DEFAULT_MRE_FLOOR);
+        table.push_row(vec![
+            kind.name().to_string(),
+            format!("{:.3}", curve.auc),
+            format!("{:.3}", tpr_at),
+            format!("{:.4}", mre),
+        ]);
+    }
+    println!("\nabove-threshold detection, eps=1, w=50:\n");
+    println!("{}", table.render());
+    println!("note how LSP can have the lowest MRE yet the weakest detection:");
+    println!("its approximations lag exactly at the moments that matter.");
+}

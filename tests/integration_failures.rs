@@ -1,0 +1,265 @@
+//! Failure injection and edge-of-domain behaviour.
+//!
+//! A reproduction is only trustworthy if it fails loudly outside its
+//! contract: invalid configurations are rejected at construction,
+//! starved mechanisms degrade to approximation instead of violating
+//! privacy, and boundary configurations (w = 1, d = 2, tiny populations)
+//! run correctly.
+
+use ldp_ids::runner::{run_on_source, CollectorMode};
+use ldp_ids::{CoreError, MechanismConfig, MechanismKind};
+use ldp_stream::source::{ConstantSource, ReplaySource};
+use ldp_stream::TrueHistogram;
+
+fn volatile(n: u64, steps: usize) -> ReplaySource {
+    let seq: Vec<TrueHistogram> = (0..steps)
+        .map(|i| {
+            if i % 2 == 0 {
+                TrueHistogram::new(vec![n * 9 / 10, n / 10])
+            } else {
+                TrueHistogram::new(vec![n / 10, n * 9 / 10])
+            }
+        })
+        .collect();
+    ReplaySource::new("volatile", seq)
+}
+
+#[test]
+fn invalid_configurations_are_rejected() {
+    for kind in MechanismKind::ALL {
+        for config in [
+            MechanismConfig::new(0.0, 10, 2, 1000),
+            MechanismConfig::new(-1.0, 10, 2, 1000),
+            MechanismConfig::new(f64::NAN, 10, 2, 1000),
+            MechanismConfig::new(1.0, 0, 2, 1000),
+            MechanismConfig::new(1.0, 10, 1, 1000),
+        ] {
+            assert!(
+                kind.build(&config).is_err(),
+                "{kind} accepted invalid config {config:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn population_division_rejects_tiny_populations() {
+    // N < 2w leaves no dissimilarity users.
+    let config = MechanismConfig::new(1.0, 50, 2, 60);
+    for kind in [MechanismKind::Lpd, MechanismKind::Lpa] {
+        assert!(matches!(
+            kind.build(&config),
+            Err(CoreError::PopulationTooSmall { .. })
+        ));
+    }
+    // LPU needs only N ≥ w.
+    assert!(MechanismKind::Lpu.build(&config).is_ok());
+}
+
+#[test]
+fn u_min_starvation_degrades_to_approximation() {
+    // u_min above any achievable group size: LPD must approximate
+    // forever after (never publish), not panic or violate accounting.
+    let n = 2_000u64;
+    let config = MechanismConfig::new(1.0, 5, 2, n).with_u_min(n);
+    let mut mech = MechanismKind::Lpd.build(&config).unwrap();
+    let result = run_on_source(
+        mech.as_mut(),
+        Box::new(volatile(n, 40)),
+        40,
+        CollectorMode::Aggregate,
+        3,
+    )
+    .unwrap();
+    assert_eq!(result.publications, 0);
+    assert_eq!(result.releases.len(), 40);
+}
+
+#[test]
+fn window_of_one_runs_all_mechanisms() {
+    // w = 1: every timestamp gets the full budget / population.
+    let n = 3_000u64;
+    for kind in MechanismKind::ALL {
+        let config = MechanismConfig::new(1.0, 1, 2, n);
+        let mut mech = kind.build(&config).unwrap();
+        let result = run_on_source(
+            mech.as_mut(),
+            Box::new(volatile(n, 20)),
+            20,
+            CollectorMode::Aggregate,
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.releases.len(), 20, "{kind}");
+    }
+}
+
+#[test]
+fn binary_domain_minimum_runs_all_mechanisms() {
+    // d = 2 is the smallest valid domain (the synthetic datasets' case).
+    let n = 3_000u64;
+    for kind in MechanismKind::ALL {
+        let config = MechanismConfig::new(1.0, 4, 2, n);
+        let mut mech = kind.build(&config).unwrap();
+        let result = run_on_source(
+            mech.as_mut(),
+            Box::new(volatile(n, 12)),
+            12,
+            CollectorMode::Client,
+            9,
+        )
+        .unwrap();
+        assert_eq!(result.releases.len(), 12, "{kind}");
+    }
+}
+
+#[test]
+fn extreme_epsilon_values_run() {
+    let n = 3_000u64;
+    for eps in [0.01, 10.0] {
+        for kind in [MechanismKind::Lba, MechanismKind::Lpa] {
+            let config = MechanismConfig::new(eps, 5, 2, n);
+            let mut mech = kind.build(&config).unwrap();
+            let result = run_on_source(
+                mech.as_mut(),
+                Box::new(volatile(n, 15)),
+                15,
+                CollectorMode::Aggregate,
+                11,
+            )
+            .unwrap();
+            assert_eq!(result.releases.len(), 15, "{kind} at eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn all_users_in_one_cell_is_handled() {
+    // Degenerate truth (every user holds value 0) must estimate cleanly.
+    let n = 5_000u64;
+    let source = ConstantSource::new(TrueHistogram::new(vec![n, 0]));
+    let config = MechanismConfig::new(2.0, 4, 2, n);
+    let mut mech = MechanismKind::Lpu.build(&config).unwrap();
+    let result = run_on_source(
+        mech.as_mut(),
+        Box::new(source),
+        12,
+        CollectorMode::Aggregate,
+        13,
+    )
+    .unwrap();
+    let last = result.releases.last().unwrap();
+    assert!(
+        last.frequencies[0] > 0.8,
+        "estimate should find the point mass: {:?}",
+        last.frequencies
+    );
+}
+
+#[test]
+fn zero_population_cell_draws_never_overflow() {
+    // Histograms with empty cells exercise the hypergeometric splitter's
+    // zero-cell paths.
+    let n = 4_000u64;
+    let source = ConstantSource::new(TrueHistogram::new(vec![0, n, 0, 0]));
+    let config = MechanismConfig::new(1.0, 3, 4, n);
+    let mut mech = MechanismKind::Lpa.build(&config).unwrap();
+    let result = run_on_source(
+        mech.as_mut(),
+        Box::new(source),
+        9,
+        CollectorMode::Aggregate,
+        17,
+    )
+    .unwrap();
+    assert_eq!(result.releases.len(), 9);
+}
+
+#[test]
+fn pool_exhaustion_error_reports_numbers() {
+    use ldp_ids::collector::{AggregateCollector, ReportScope, RoundCollector};
+
+    let source = ConstantSource::new(TrueHistogram::new(vec![500, 500]));
+    let config = MechanismConfig::new(1.0, 4, 2, 1000);
+    let mut collector = AggregateCollector::new(Box::new(source), &config, 1);
+    collector.begin_step().unwrap();
+    collector.collect(ReportScope::Fresh(900), 1.0).unwrap();
+    match collector.collect(ReportScope::Fresh(200), 1.0) {
+        Err(CoreError::PoolExhausted {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, 200);
+            assert_eq!(available, 100);
+        }
+        other => panic!("expected PoolExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn population_churn_is_an_error_not_corruption() {
+    // Paper Remark 2: time-varying populations are out of scope. A
+    // stream whose population shrinks mid-run must surface as
+    // PopulationDrift from either collector, never silent mis-counting.
+    let seq = vec![
+        TrueHistogram::new(vec![500, 500]),
+        TrueHistogram::new(vec![500, 500]),
+        TrueHistogram::new(vec![450, 450]), // 100 users churned out
+    ];
+    for mode in [CollectorMode::Aggregate, CollectorMode::Client] {
+        let config = MechanismConfig::new(1.0, 2, 2, 1000);
+        let mut mech = MechanismKind::Lpu.build(&config).unwrap();
+        let err = run_on_source(
+            mech.as_mut(),
+            Box::new(ReplaySource::new("churn", seq.clone())),
+            3,
+            mode,
+            21,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::PopulationDrift {
+                    expected: 1000,
+                    got: 900
+                }
+            ),
+            "{mode:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn lopsided_dissimilarity_share_runs() {
+    // Non-default M1/M2 splits must preserve all accounting.
+    let n = 10_000u64;
+    for share in [0.2, 0.8] {
+        for kind in [
+            MechanismKind::Lbd,
+            MechanismKind::Lba,
+            MechanismKind::Lpd,
+            MechanismKind::Lpa,
+        ] {
+            let config = MechanismConfig::new(1.0, 5, 2, n).with_dissimilarity_share(share);
+            let mut mech = kind.build(&config).unwrap();
+            let result = run_on_source(
+                mech.as_mut(),
+                Box::new(volatile(n, 30)),
+                30,
+                CollectorMode::Aggregate,
+                23,
+            )
+            .unwrap();
+            assert_eq!(result.releases.len(), 30, "{kind} share={share}");
+        }
+    }
+}
+
+#[test]
+fn invalid_share_is_rejected() {
+    for share in [0.0, 1.0, -0.5] {
+        let config = MechanismConfig::new(1.0, 5, 2, 1000).with_dissimilarity_share(share);
+        assert!(MechanismKind::Lba.build(&config).is_err(), "share {share}");
+    }
+}

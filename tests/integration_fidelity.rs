@@ -1,0 +1,138 @@
+//! Collector fidelity: the aggregate-level sampler must be statistically
+//! indistinguishable from driving real per-user clients.
+//!
+//! DESIGN.md's key performance claim is that `AggregateCollector` draws
+//! from the *exact* distribution of summed per-user reports. These tests
+//! compare the two backends' estimate moments and the mechanisms'
+//! end-to-end error under both.
+
+use ldp_ids::collector::{AggregateCollector, ReportScope, RoundCollector};
+use ldp_ids::protocol::ClientCollector;
+use ldp_ids::runner::{run_on_source, CollectorMode};
+use ldp_ids::{MechanismConfig, MechanismKind};
+use ldp_stream::source::ConstantSource;
+use ldp_stream::{Dataset, MaterializedStream, TrueHistogram};
+use ldp_util::stats::{mean, sample_variance};
+
+fn one_round_estimates(
+    mode: CollectorMode,
+    trials: usize,
+    scope: ReportScope,
+    eps: f64,
+) -> Vec<f64> {
+    let counts = vec![1400u64, 600];
+    let config = MechanismConfig::new(eps, 4, 2, 2000);
+    (0..trials)
+        .map(|seed| {
+            let source = ConstantSource::new(TrueHistogram::new(counts.clone()));
+            let mut collector: Box<dyn RoundCollector> = match mode {
+                CollectorMode::Aggregate => Box::new(AggregateCollector::new(
+                    Box::new(source),
+                    &config,
+                    seed as u64,
+                )),
+                CollectorMode::Client => {
+                    Box::new(ClientCollector::new(Box::new(source), &config, seed as u64))
+                }
+            };
+            collector.begin_step().unwrap();
+            collector.collect(scope, eps).unwrap().frequencies[0]
+        })
+        .collect()
+}
+
+#[test]
+fn collectors_agree_on_all_scope_moments() {
+    let eps = 1.0;
+    let trials = 300;
+    let agg = one_round_estimates(CollectorMode::Aggregate, trials, ReportScope::All, eps);
+    let cli = one_round_estimates(CollectorMode::Client, trials, ReportScope::All, eps);
+    let (m_a, m_c) = (mean(&agg), mean(&cli));
+    assert!((m_a - 0.7).abs() < 0.02, "aggregate mean {m_a}");
+    assert!((m_c - 0.7).abs() < 0.02, "client mean {m_c}");
+    let (v_a, v_c) = (sample_variance(&agg), sample_variance(&cli));
+    let ratio = v_a / v_c;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "variance mismatch: aggregate {v_a} vs client {v_c}"
+    );
+}
+
+#[test]
+fn collectors_agree_on_fresh_scope_moments() {
+    let eps = 1.0;
+    let trials = 300;
+    let agg = one_round_estimates(
+        CollectorMode::Aggregate,
+        trials,
+        ReportScope::Fresh(500),
+        eps,
+    );
+    let cli = one_round_estimates(CollectorMode::Client, trials, ReportScope::Fresh(500), eps);
+    let (m_a, m_c) = (mean(&agg), mean(&cli));
+    assert!((m_a - 0.7).abs() < 0.03, "aggregate mean {m_a}");
+    assert!((m_c - 0.7).abs() < 0.03, "client mean {m_c}");
+    let (v_a, v_c) = (sample_variance(&agg), sample_variance(&cli));
+    let ratio = v_a / v_c;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "variance mismatch: aggregate {v_a} vs client {v_c}"
+    );
+}
+
+#[test]
+fn end_to_end_error_matches_across_backends() {
+    // Same mechanism, same stream, both backends, several seeds: the
+    // mean MRE must agree within sampling tolerance.
+    let dataset = Dataset::Sin {
+        population: 3_000,
+        len: 30,
+        a: 0.05,
+        b: 0.05,
+        h: 0.075,
+    };
+    let stream = MaterializedStream::from_dataset(&dataset, 17);
+    let truth = stream.frequency_matrix();
+    let config = MechanismConfig::new(1.0, 6, 2, 3_000);
+
+    let mre_with = |mode: CollectorMode, seed: u64| {
+        let mut mech = MechanismKind::Lpa.build(&config).unwrap();
+        let out = run_on_source(mech.as_mut(), Box::new(stream.replay()), 30, mode, seed).unwrap();
+        ldp_metrics::mre(
+            &out.frequency_matrix(),
+            &truth,
+            ldp_metrics::DEFAULT_MRE_FLOOR,
+        )
+    };
+    let seeds: Vec<u64> = (0..12).collect();
+    let agg: Vec<f64> = seeds
+        .iter()
+        .map(|&s| mre_with(CollectorMode::Aggregate, s))
+        .collect();
+    let cli: Vec<f64> = seeds
+        .iter()
+        .map(|&s| mre_with(CollectorMode::Client, s))
+        .collect();
+    let (m_a, m_c) = (mean(&agg), mean(&cli));
+    assert!(
+        (m_a - m_c).abs() / m_c.max(1e-6) < 0.5,
+        "backend MRE means diverge: aggregate {m_a} vs client {m_c}"
+    );
+}
+
+#[test]
+fn aggregate_variance_matches_closed_form() {
+    // The sampled estimator's variance must track Eq. (2) — the quantity
+    // every adaptive decision in the system relies on.
+    let eps = 1.0;
+    let trials = 600;
+    let est = one_round_estimates(CollectorMode::Aggregate, trials, ReportScope::All, eps);
+    let emp = sample_variance(&est);
+    let oracle = ldp_fo::build_oracle(ldp_fo::FoKind::Grr, eps, 2).unwrap();
+    let theory = oracle.cell_variance(2000, 0.7);
+    let rel = (emp - theory).abs() / theory;
+    assert!(
+        rel < 0.25,
+        "empirical variance {emp} vs Eq.(2) {theory} (rel {rel})"
+    );
+}
