@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|all> [options]
+//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|all> [options]
 //!
 //! options:
 //!   --quick          shrunk populations / truncated streams (same grids)
@@ -38,7 +38,11 @@ fn parse_args() -> Result<Cli, String> {
             "--quick" => cli.scale = RunScale::Quick,
             "--seeds" => {
                 let v = args.next().ok_or("--seeds needs a value")?;
-                cli.seeds = Some(v.parse().map_err(|_| format!("bad seed count `{v}`"))?);
+                let n: usize = v.parse().map_err(|_| format!("bad seed count `{v}`"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                cli.seeds = Some(n);
             }
             "--json" => {
                 let v = args.next().ok_or("--json needs a directory")?;
@@ -63,7 +67,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|all> \
+    "usage: repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|all> \
 [--quick] [--seeds N] [--json DIR] [--threads N]";
 
 fn main() {
@@ -99,6 +103,27 @@ fn main() {
             "fig7" => vec![experiments::fig7::run(&ctx)],
             "fig8" => vec![experiments::fig8::run(&ctx)],
             "table2" => vec![experiments::table2::run(&ctx)],
+            "throughput" => {
+                let report = experiments::throughput::run(cli.scale);
+                println!("{}", report.render());
+                let mut outputs = vec![PathBuf::from("BENCH_throughput.json")];
+                if let Some(dir) = &cli.json_dir {
+                    // Land next to the figure JSONs too when --json is given.
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("# failed to create {}: {e}", dir.display());
+                    } else {
+                        outputs.push(dir.join("BENCH_throughput.json"));
+                    }
+                }
+                for path in outputs {
+                    match report.write_json(&path) {
+                        Ok(path) => eprintln!("# wrote {}", path.display()),
+                        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+                    }
+                }
+                eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
+                continue;
+            }
             "ablations" => experiments::ablations::run(&ctx),
             "datasets" => vec![experiments::inspect::datasets(&ctx)],
             "analysis" => vec![experiments::inspect::analysis_tables()],

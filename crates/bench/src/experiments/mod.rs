@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod inspect;
 pub mod table2;
+pub mod throughput;
 
 use crate::grid::{default_threads, run_parallel};
 use crate::output::Figure;

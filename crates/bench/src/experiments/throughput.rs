@@ -1,0 +1,197 @@
+//! Ingestion throughput of the sharded service (`BENCH_throughput.json`).
+//!
+//! Pre-perturbs one round's worth of reports (10⁶ at paper scale), then
+//! replays the identical report set through [`IngestService`] at each
+//! worker count in [`THREAD_SWEEP`], timing open → ingest → close. Only
+//! the aggregation side is measured: client-side perturbation happens
+//! once, up front, exactly as reports arrive pre-perturbed on a real
+//! ingestion frontend.
+//!
+//! OUE over a 128-cell domain keeps per-report fold cost realistic
+//! (one counter increment per set bit, ~d/4 of them at ε = 1), so the
+//! sweep exposes how aggregation scales across shards. Note the speedup
+//! column only shows parallel gain when the host actually has spare
+//! cores — `host_cores` is recorded so a single-core container's flat
+//! profile is attributable.
+
+use crate::scale::RunScale;
+use ldp_fo::{build_oracle, FoKind};
+use ldp_ids::protocol::UserResponse;
+use ldp_metrics::Table;
+use ldp_service::{IngestService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Worker counts the sweep measures.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Reports per round at each scale.
+pub fn reports_per_round(scale: RunScale) -> u64 {
+    match scale {
+        RunScale::Paper => 1_000_000,
+        RunScale::Quick => 100_000,
+    }
+}
+
+/// One measured configuration of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRun {
+    /// Worker threads (shards).
+    pub threads: usize,
+    /// Wall-clock seconds for the best measured round.
+    pub elapsed_secs: f64,
+    /// Reports ingested per second in that round.
+    pub reports_per_sec: f64,
+    /// Speedup over the 1-thread configuration.
+    pub speedup_vs_1: f64,
+}
+
+/// The full sweep, as written to `BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Artifact id ("throughput").
+    pub id: String,
+    /// Frequency oracle driving the fold.
+    pub fo: String,
+    /// Per-report privacy budget.
+    pub epsilon: f64,
+    /// Domain cardinality.
+    pub domain_size: usize,
+    /// Reports ingested per measured round.
+    pub reports_per_round: u64,
+    /// Responses per dispatched batch.
+    pub batch_size: usize,
+    /// Cores the host exposes (parallel speedup is bounded by this).
+    pub host_cores: usize,
+    /// One entry per thread count in [`THREAD_SWEEP`].
+    pub runs: Vec<ThroughputRun>,
+}
+
+impl ThroughputReport {
+    /// Render the sweep as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec!["threads", "elapsed s", "reports/s", "speedup"]);
+        for run in &self.runs {
+            table.push_numeric_row(
+                run.threads.to_string(),
+                &[run.elapsed_secs, run.reports_per_sec, run.speedup_vs_1],
+                2,
+            );
+        }
+        format!(
+            "== throughput — {} reports/round, {} d={} ε={}, batch {}, {} host cores ==\n{}",
+            self.reports_per_round,
+            self.fo,
+            self.domain_size,
+            self.epsilon,
+            self.batch_size,
+            self.host_cores,
+            table.render()
+        )
+    }
+
+    /// Write the report as pretty JSON to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<PathBuf> {
+        let json = serde_json::to_string_pretty(self).expect("throughput report serializes");
+        std::fs::write(path, json)?;
+        Ok(path.to_path_buf())
+    }
+}
+
+/// Run the sweep at `scale`.
+pub fn run(scale: RunScale) -> ThroughputReport {
+    let epsilon = 1.0;
+    let domain_size = 128;
+    let batch_size = 4096;
+    let reports = reports_per_round(scale);
+    let oracle = build_oracle(FoKind::Oue, epsilon, domain_size).expect("valid oracle");
+
+    // One shared pre-perturbed report set; every configuration replays an
+    // identical clone, so measured differences are aggregation-side only.
+    let mut rng = StdRng::seed_from_u64(0x1d9_5eed);
+    let template: Vec<UserResponse> = (0..reports)
+        .map(|i| UserResponse::Report {
+            round: 0,
+            report: oracle.perturb(i as usize % domain_size, &mut rng),
+        })
+        .collect();
+
+    let mut runs = Vec::with_capacity(THREAD_SWEEP.len());
+    let mut baseline = None;
+    for threads in THREAD_SWEEP {
+        // Best of two rounds per configuration irons out scheduler noise.
+        let mut best_elapsed = f64::INFINITY;
+        for _ in 0..2 {
+            let service = Arc::new(IngestService::new(
+                ServiceConfig::with_threads(threads).with_batch_size(batch_size),
+            ));
+            let session = service.create_session();
+            let responses = template.clone();
+            service
+                .open_round(session, 0, FoKind::Oue, epsilon, oracle.clone())
+                .expect("open round");
+            let start = Instant::now();
+            // Submit in frontend-sized chunks; `submit_batch` re-slices to
+            // `batch_size` and blocks on a saturated pool (backpressure).
+            const CHUNK: usize = 8192;
+            let mut pending = responses.into_iter();
+            loop {
+                let chunk: Vec<UserResponse> = pending.by_ref().take(CHUNK).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                service.submit_batch(session, chunk).expect("submit batch");
+            }
+            let estimate = service.close_round(session).expect("close round");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(estimate.reporters, reports, "round lost reports");
+            service.end_session(session);
+            best_elapsed = best_elapsed.min(elapsed);
+        }
+        let reports_per_sec = reports as f64 / best_elapsed;
+        let baseline_rps = *baseline.get_or_insert(reports_per_sec);
+        runs.push(ThroughputRun {
+            threads,
+            elapsed_secs: best_elapsed,
+            reports_per_sec,
+            speedup_vs_1: reports_per_sec / baseline_rps,
+        });
+    }
+
+    ThroughputReport {
+        id: "throughput".into(),
+        fo: FoKind::Oue.name().into(),
+        epsilon,
+        domain_size,
+        reports_per_round: reports,
+        batch_size,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_measures_every_thread_count() {
+        let report = run(RunScale::Quick);
+        assert_eq!(report.runs.len(), THREAD_SWEEP.len());
+        assert_eq!(report.reports_per_round, 100_000);
+        for run in &report.runs {
+            assert!(run.reports_per_sec > 0.0, "{run:?}");
+        }
+        assert!((report.runs[0].speedup_vs_1 - 1.0).abs() < 1e-12);
+        // Round-trips through serde.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ThroughputReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

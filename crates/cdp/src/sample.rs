@@ -51,7 +51,7 @@ impl CdpMechanism for CdpSample {
     }
 
     fn step(&mut self, truth: &TrueHistogram, rng: &mut dyn RngCore) -> Vec<f64> {
-        let sample_now = self.t % self.w as u64 == 0;
+        let sample_now = self.t.is_multiple_of(self.w as u64);
         self.t += 1;
         if sample_now {
             self.ledger.spend(self.epsilon);

@@ -44,7 +44,7 @@ impl Lsp {
 
     /// Whether `t` (0-based) is a sampling timestamp.
     pub fn is_sampling_step(&self, t: u64) -> bool {
-        t % self.config.w as u64 == 0
+        t.is_multiple_of(self.config.w as u64)
     }
 }
 

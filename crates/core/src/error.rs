@@ -51,6 +51,18 @@ pub enum CoreError {
         /// The population observed in the stream.
         got: u64,
     },
+    /// A response echoed a round id other than the open round's — a
+    /// late, duplicated or misrouted message. Recoverable: the server
+    /// drops the response and keeps the round open.
+    StaleRound {
+        /// The round currently open.
+        expected: u64,
+        /// The round id the response carried.
+        got: u64,
+    },
+    /// `submit`/`close_round` was called with no collection round open —
+    /// the message arrived outside any round's lifetime.
+    NoOpenRound,
 }
 
 impl std::fmt::Display for CoreError {
@@ -91,6 +103,11 @@ impl std::fmt::Display for CoreError {
                 f,
                 "population changed mid-stream ({expected} -> {got}); churn is unsupported (paper Remark 2)"
             ),
+            CoreError::StaleRound { expected, got } => write!(
+                f,
+                "response for stale round {got}; round {expected} is open"
+            ),
+            CoreError::NoOpenRound => write!(f, "no collection round is open"),
         }
     }
 }
@@ -139,6 +156,11 @@ mod tests {
                 expected: 100,
                 got: 90,
             },
+            CoreError::StaleRound {
+                expected: 3,
+                got: 1,
+            },
+            CoreError::NoOpenRound,
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -3,10 +3,18 @@
 //! Where [`crate::AggregateCollector`] samples the mathematics, this
 //! driver runs the machinery: every collection round is a broadcast of
 //! [`crate::protocol::ReportRequest`]s, one perturbation per selected
-//! [`UserClient`], and
-//! an [`AggregationServer`] tally. Group selection for `Fresh` rounds is
-//! a uniformly random draw from a pool of user ids that recycles exactly
-//! `w` timestamps after use (Alg. 3/4 line "Recycling Users").
+//! [`UserClient`], and a tally at the receiving end. Group selection for
+//! `Fresh` rounds is a uniformly random draw from a pool of user ids
+//! that recycles exactly `w` timestamps after use (Alg. 3/4 line
+//! "Recycling Users").
+//!
+//! The *receiving end* is abstract: a [`ReportSink`] consumes the
+//! response stream and produces the round estimate. The in-process
+//! [`AggregationServer`] is the sequential sink (and
+//! [`ClientCollector`] the alias wiring it in); `ldp_service`'s sharded
+//! worker pool is a parallel one — mechanisms run over either unchanged,
+//! and both produce identical estimates for the same seeded clients
+//! because support-count folding is commutative.
 //!
 //! The cost is O(reporters) per round, so this collector suits the
 //! paper's smaller configurations, the examples, and the fidelity tests
@@ -16,7 +24,7 @@ use crate::collector::{CollectorStats, ReportScope, RoundCollector, RoundEstimat
 use crate::config::MechanismConfig;
 use crate::error::CoreError;
 use crate::protocol::client::UserClient;
-use crate::protocol::messages::UserResponse;
+use crate::protocol::messages::{ReportRequest, UserResponse};
 use crate::protocol::server::AggregationServer;
 use ldp_fo::{build_oracle, FoKind, OracleHandle};
 use ldp_stream::{RingWindow, Snapshot, StreamSource};
@@ -25,14 +33,66 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// A protocol-level collector over simulated user devices.
-pub struct ClientCollector {
+/// The receiving end of one collection round: opens rounds, tallies
+/// responses, and produces the unbiased estimate.
+///
+/// The contract mirrors [`AggregationServer`] (which is the canonical
+/// sequential implementation): strictly one round open at a time per
+/// sink, `submit` between `open_round` and `close_round`.
+pub trait ReportSink {
+    /// Open a collection round at timestamp `t`; returns the request to
+    /// broadcast to clients.
+    fn open_round(
+        &mut self,
+        t: u64,
+        fo: FoKind,
+        epsilon: f64,
+        oracle: OracleHandle,
+    ) -> ReportRequest;
+
+    /// Tally one response into the open round.
+    fn submit(&mut self, response: &UserResponse) -> Result<(), CoreError>;
+
+    /// Close the round and return the estimate.
+    fn close_round(&mut self) -> Result<RoundEstimate, CoreError>;
+
+    /// Refusals observed so far across all rounds.
+    fn refusals(&self) -> u64;
+}
+
+impl ReportSink for AggregationServer {
+    fn open_round(
+        &mut self,
+        t: u64,
+        fo: FoKind,
+        epsilon: f64,
+        oracle: OracleHandle,
+    ) -> ReportRequest {
+        AggregationServer::open_round(self, t, fo, epsilon, oracle)
+    }
+
+    fn submit(&mut self, response: &UserResponse) -> Result<(), CoreError> {
+        AggregationServer::submit(self, response)
+    }
+
+    fn close_round(&mut self) -> Result<RoundEstimate, CoreError> {
+        AggregationServer::close_round(self)
+    }
+
+    fn refusals(&self) -> u64 {
+        AggregationServer::refusals(self)
+    }
+}
+
+/// A protocol-level collector over simulated user devices, generic in
+/// the aggregation backend.
+pub struct GenericClientCollector<S: ReportSink> {
     source: Box<dyn StreamSource>,
     fo: FoKind,
     w: usize,
     population: u64,
     clients: Vec<UserClient>,
-    server: AggregationServer,
+    sink: S,
     rng: StdRng,
     /// Ids currently outside every active window.
     available: Vec<u32>,
@@ -45,21 +105,43 @@ pub struct ClientCollector {
     oracles: HashMap<u64, OracleHandle>,
 }
 
+/// The sequential protocol collector: clients + in-process
+/// [`AggregationServer`].
+pub type ClientCollector = GenericClientCollector<AggregationServer>;
+
 impl ClientCollector {
     /// A collector over `source` for `config`, with every device's
-    /// randomness derived from `seed`.
+    /// randomness derived from `seed`, tallying in-process.
     pub fn new(source: Box<dyn StreamSource>, config: &MechanismConfig, seed: u64) -> Self {
+        Self::with_sink(source, config, seed, AggregationServer::new())
+    }
+}
+
+impl<S: ReportSink> GenericClientCollector<S> {
+    /// A collector over `source` for `config`, with every device's
+    /// randomness derived from `seed`, tallying into `sink`.
+    ///
+    /// Two sinks driven from the same `(source, config, seed)` receive
+    /// the identical response sequence: client perturbation happens here,
+    /// on the driving thread, so the sink only ever sees — and cannot
+    /// influence — already-perturbed traffic.
+    pub fn with_sink(
+        source: Box<dyn StreamSource>,
+        config: &MechanismConfig,
+        seed: u64,
+        sink: S,
+    ) -> Self {
         let population = source.population();
         let clients = (0..population)
             .map(|id| UserClient::new(id, config.epsilon, config.w, child_seed(seed, id)))
             .collect();
-        ClientCollector {
+        GenericClientCollector {
             source,
             fo: config.fo,
             w: config.w,
             population,
             clients,
-            server: AggregationServer::new(),
+            sink,
             rng: StdRng::seed_from_u64(child_seed(seed, u64::MAX)),
             available: (0..population as u32).collect(),
             used_window: RingWindow::new(config.w.max(2) - 1),
@@ -73,7 +155,12 @@ impl ClientCollector {
 
     /// Refusals observed so far (0 under any correct mechanism).
     pub fn refusals(&self) -> u64 {
-        self.server.refusals()
+        self.sink.refusals()
+    }
+
+    /// Borrow the aggregation backend.
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     fn oracle(&mut self, epsilon: f64) -> Result<OracleHandle, CoreError> {
@@ -91,7 +178,7 @@ impl ClientCollector {
     fn run_round(&mut self, ids: &[u32], epsilon: f64) -> Result<RoundEstimate, CoreError> {
         let oracle = self.oracle(epsilon)?;
         let request =
-            self.server
+            self.sink
                 .open_round(self.t.saturating_sub(1), self.fo, epsilon, oracle.clone());
         self.stats.downlink_requests += ids.len() as u64;
         for &id in ids {
@@ -102,10 +189,11 @@ impl ClientCollector {
                 ..
             } = response
             {
-                // Tally it server-side for observability, then abort the
+                // Tally it sink-side for observability, then abort the
                 // round: a refusal means the request schedule is broken.
-                self.server.submit(&response);
-                self.server.close_round();
+                let submitted = self.sink.submit(&response);
+                self.sink.close_round()?;
+                submitted?;
                 return Err(CoreError::ClientRefused {
                     user: id as u64,
                     requested,
@@ -114,13 +202,20 @@ impl ClientCollector {
             }
             self.stats.uplink_reports += 1;
             self.stats.uplink_bytes += response.wire_size() as u64;
-            self.server.submit(&response);
+            if let Err(e) = self.sink.submit(&response) {
+                // A submit error is recoverable sink-side (tallies are
+                // untouched), but bailing out mid-round must not leave
+                // the round open — the next collect would trip the
+                // sink's lifecycle assertion.
+                self.sink.close_round()?;
+                return Err(e);
+            }
         }
-        Ok(self.server.close_round())
+        self.sink.close_round()
     }
 }
 
-impl RoundCollector for ClientCollector {
+impl<S: ReportSink> RoundCollector for GenericClientCollector<S> {
     fn population(&self) -> u64 {
         self.population
     }

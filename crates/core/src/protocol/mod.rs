@@ -27,6 +27,6 @@ pub mod messages;
 pub mod server;
 
 pub use client::{ClientLedger, UserClient};
-pub use driver::ClientCollector;
+pub use driver::{ClientCollector, GenericClientCollector, ReportSink};
 pub use messages::{ReportRequest, UserResponse};
 pub use server::AggregationServer;

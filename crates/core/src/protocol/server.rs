@@ -1,6 +1,7 @@
 //! The aggregation-server side of the report protocol.
 
 use crate::collector::RoundEstimate;
+use crate::error::CoreError;
 use crate::protocol::messages::{ReportRequest, UserResponse};
 use ldp_fo::{FoKind, OracleHandle};
 
@@ -9,6 +10,11 @@ use ldp_fo::{FoKind, OracleHandle};
 /// The server never sees a true value: its entire input is the stream of
 /// [`UserResponse`] messages, which it folds into per-cell support counts
 /// through the round oracle's `accumulate`.
+///
+/// Message-level faults — a response for a stale round, a submit with no
+/// round open — are *environment* errors (late or misrouted traffic) and
+/// surface as [`CoreError`]s; only protocol-lifecycle misuse by the
+/// caller itself (opening a round over an open round) panics.
 #[derive(Debug)]
 pub struct AggregationServer {
     next_round: u64,
@@ -44,7 +50,8 @@ impl AggregationServer {
     /// broadcast.
     ///
     /// # Panics
-    /// If a round is already open (the protocol is strictly sequential).
+    /// If a round is already open (the protocol is strictly sequential;
+    /// interleaving rounds on one server is caller misuse).
     pub fn open_round(
         &mut self,
         t: u64,
@@ -72,32 +79,41 @@ impl AggregationServer {
 
     /// Fold one user response into the open round.
     ///
-    /// # Panics
-    /// If no round is open or the response echoes the wrong round id.
-    pub fn submit(&mut self, response: &UserResponse) {
-        let round = self.open.as_mut().expect("no open round");
+    /// Fails with [`CoreError::NoOpenRound`] outside a round and
+    /// [`CoreError::StaleRound`] when the response echoes a different
+    /// round id; neither error mutates the open round's tallies.
+    pub fn submit(&mut self, response: &UserResponse) -> Result<(), CoreError> {
+        let round = self.open.as_mut().ok_or(CoreError::NoOpenRound)?;
+        let expected = round.request.round;
         match response {
             UserResponse::Report { round: id, report } => {
-                assert_eq!(*id, round.request.round, "response for a stale round");
+                if *id != expected {
+                    return Err(CoreError::StaleRound { expected, got: *id });
+                }
                 round.oracle.accumulate(report, &mut round.support);
                 round.reporters += 1;
             }
             UserResponse::Refused { round: id, .. } => {
-                assert_eq!(*id, round.request.round, "response for a stale round");
+                if *id != expected {
+                    return Err(CoreError::StaleRound { expected, got: *id });
+                }
                 self.refusals += 1;
             }
         }
+        Ok(())
     }
 
     /// Close the round and return the unbiased estimate.
-    pub fn close_round(&mut self) -> RoundEstimate {
-        let round = self.open.take().expect("no open round");
+    ///
+    /// Fails with [`CoreError::NoOpenRound`] when no round is open.
+    pub fn close_round(&mut self) -> Result<RoundEstimate, CoreError> {
+        let round = self.open.take().ok_or(CoreError::NoOpenRound)?;
         let frequencies = round.oracle.estimate(&round.support, round.reporters);
-        RoundEstimate {
+        Ok(RoundEstimate {
             frequencies,
             reporters: round.reporters,
             epsilon: round.request.epsilon,
-        }
+        })
     }
 }
 
@@ -121,12 +137,14 @@ mod tests {
         assert_eq!(req.round, 0);
         // At ε = 8 GRR is almost honest: feed 30 reports of value 1.
         for _ in 0..30 {
-            server.submit(&UserResponse::Report {
-                round: 0,
-                report: Report::Grr(1),
-            });
+            server
+                .submit(&UserResponse::Report {
+                    round: 0,
+                    report: Report::Grr(1),
+                })
+                .unwrap();
         }
-        let est = server.close_round();
+        let est = server.close_round().unwrap();
         assert_eq!(est.reporters, 30);
         assert!(est.frequencies[1] > 0.9, "{est:?}");
     }
@@ -136,12 +154,14 @@ mod tests {
         let oracle = build_oracle(FoKind::Grr, 1.0, 2).unwrap();
         let mut server = AggregationServer::new();
         server.open_round(0, FoKind::Grr, 1.0, oracle);
-        server.submit(&UserResponse::Refused {
-            round: 0,
-            requested: 1.0,
-            available: 0.0,
-        });
-        let est = server.close_round();
+        server
+            .submit(&UserResponse::Refused {
+                round: 0,
+                requested: 1.0,
+                available: 0.0,
+            })
+            .unwrap();
+        let est = server.close_round().unwrap();
         assert_eq!(est.reporters, 0);
         assert_eq!(server.refusals(), 1);
     }
@@ -156,14 +176,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale round")]
-    fn stale_round_ids_rejected() {
+    fn stale_round_ids_are_typed_errors() {
         let oracle = build_oracle(FoKind::Grr, 1.0, 2).unwrap();
         let mut server = AggregationServer::new();
         server.open_round(7, FoKind::Grr, 1.0, oracle);
-        server.submit(&UserResponse::Report {
-            round: 99,
-            report: Report::Grr(0),
-        });
+        let err = server
+            .submit(&UserResponse::Report {
+                round: 99,
+                report: Report::Grr(0),
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::StaleRound {
+                expected: 0,
+                got: 99
+            }
+        );
+        // The round stays open and untouched by the stale message.
+        let est = server.close_round().unwrap();
+        assert_eq!(est.reporters, 0);
+    }
+
+    #[test]
+    fn stale_refusals_are_typed_errors_too() {
+        let oracle = build_oracle(FoKind::Grr, 1.0, 2).unwrap();
+        let mut server = AggregationServer::new();
+        server.open_round(0, FoKind::Grr, 1.0, oracle);
+        let err = server
+            .submit(&UserResponse::Refused {
+                round: 4,
+                requested: 1.0,
+                available: 0.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::StaleRound { got: 4, .. }));
+        assert_eq!(server.refusals(), 0, "stale refusal not counted");
+        server.close_round().unwrap();
+    }
+
+    #[test]
+    fn submit_and_close_outside_round_fail() {
+        let mut server = AggregationServer::new();
+        let err = server
+            .submit(&UserResponse::Report {
+                round: 0,
+                report: Report::Grr(0),
+            })
+            .unwrap_err();
+        assert_eq!(err, CoreError::NoOpenRound);
+        assert_eq!(server.close_round().unwrap_err(), CoreError::NoOpenRound);
     }
 }

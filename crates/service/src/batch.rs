@@ -1,0 +1,87 @@
+//! Batching: the unit of work handed to pool workers.
+
+use crate::session::SessionId;
+use ldp_fo::OracleHandle;
+use ldp_ids::protocol::UserResponse;
+
+/// Identifies one collection round of one session — the key under which
+/// every worker keeps that round's shard accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoundKey {
+    /// The owning session.
+    pub session: SessionId,
+    /// The session-local round id.
+    pub round: u64,
+}
+
+/// One dispatched slice of a round's response stream.
+#[derive(Debug)]
+pub struct Batch {
+    /// Which round the responses belong to.
+    pub key: RoundKey,
+    /// The round oracle (a shared handle): workers create their shard
+    /// accumulator lazily from the first batch they see for a round, so
+    /// no open-broadcast has to cut ahead of other rounds' traffic.
+    pub oracle: OracleHandle,
+    /// The responses (already validated against the open round by the
+    /// session manager).
+    pub responses: Vec<UserResponse>,
+}
+
+/// Sizing knobs of the ingestion service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads (shards). At least 1.
+    pub threads: usize,
+    /// Responses per dispatched batch. Larger batches amortize channel
+    /// overhead; smaller ones spread a short round across more shards.
+    pub batch_size: usize,
+    /// Bound of each worker's inbox, in batches. When every inbox is
+    /// full, `submit` blocks — backpressure against unbounded arrival.
+    pub queue_depth: usize,
+}
+
+impl ServiceConfig {
+    /// Default sizing for `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ServiceConfig {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Override the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_size: 4096,
+            queue_depth: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_floors_at_one() {
+        assert_eq!(ServiceConfig::with_threads(0).threads, 1);
+        assert_eq!(ServiceConfig::with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn batch_size_floors_at_one() {
+        let c = ServiceConfig::with_threads(2).with_batch_size(0);
+        assert_eq!(c.batch_size, 1);
+    }
+}

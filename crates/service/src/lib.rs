@@ -1,0 +1,64 @@
+//! # `ldp_service` — sharded, parallel report-ingestion service
+//!
+//! LDP-IDS targets infinite streams from massive populations, but the
+//! in-process [`AggregationServer`](ldp_ids::protocol::AggregationServer)
+//! tallies one [`UserResponse`](ldp_ids::protocol::UserResponse) at a
+//! time on one thread. This crate scales the aggregation side of a
+//! collection round across cores while producing estimates **identical**
+//! to the sequential server:
+//!
+//! * [`shard`] — per-shard support-count accumulators; each worker folds
+//!   its partition of the response stream through the round oracle's
+//!   `accumulate`, and shard tallies merge by commutative `u64` addition
+//!   on round close — which is why the parallel estimate is bit-identical
+//!   to the sequential one, independent of how responses were partitioned
+//!   or interleaved;
+//! * [`batch`] — response batching (configurable size) so per-message
+//!   channel overhead amortizes across many reports;
+//! * [`pool`] — an `std::thread` worker pool fed by bounded channels:
+//!   dispatch blocks when every worker queue is full, giving natural
+//!   backpressure against unbounded arrival;
+//! * [`session`] — the [`IngestService`]: a multi-round session manager
+//!   owning round lifecycle (open → ingest → close) for any number of
+//!   concurrent independent streams/queries over one shared pool;
+//! * [`parallel`] — [`ParallelCollector`], a
+//!   [`RoundCollector`](ldp_ids::RoundCollector) implementation that
+//!   runs every existing mechanism (LBD/LBA/LPD/LPA/…) over the sharded
+//!   service unchanged, via the core protocol driver's
+//!   [`ReportSink`](ldp_ids::protocol::ReportSink) seam.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ldp_service::{IngestService, ServiceConfig};
+//! use ldp_fo::{build_oracle, FoKind, Report};
+//! use ldp_ids::protocol::UserResponse;
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(IngestService::new(ServiceConfig::with_threads(2)));
+//! let session = service.create_session();
+//! let oracle = build_oracle(FoKind::Grr, 8.0, 4).unwrap();
+//! let request = service.open_round(session, 0, FoKind::Grr, 8.0, oracle).unwrap();
+//! for _ in 0..1000 {
+//!     service
+//!         .submit(session, UserResponse::Report { round: request.round, report: Report::Grr(2) })
+//!         .unwrap();
+//! }
+//! let estimate = service.close_round(session).unwrap();
+//! assert_eq!(estimate.reporters, 1000);
+//! assert!(estimate.frequencies[2] > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod parallel;
+pub mod pool;
+pub mod session;
+pub mod shard;
+
+pub use batch::{Batch, RoundKey, ServiceConfig};
+pub use parallel::{ParallelCollector, ServiceSink};
+pub use pool::WorkerPool;
+pub use session::{IngestService, SessionId};
+pub use shard::{ShardAccumulator, ShardTally};

@@ -1,0 +1,151 @@
+//! [`ParallelCollector`]: every existing mechanism over the sharded
+//! service, unchanged.
+//!
+//! The core protocol driver already separates *driving* (clients,
+//! group selection, w-event ledgers) from *tallying* (a
+//! [`ReportSink`]). [`ServiceSink`] implements the sink against an
+//! [`IngestService`] session, and [`ParallelCollector`] is the driver
+//! over it — so a mechanism sees the usual
+//! [`RoundCollector`](ldp_ids::RoundCollector) while its rounds
+//! aggregate across the pool's shards.
+//!
+//! ## Equivalence guarantee
+//!
+//! For the same `(source, config, seed)`, `ParallelCollector` produces
+//! **bit-identical** support counts and estimates to the sequential
+//! [`ClientCollector`](ldp_ids::protocol::ClientCollector), at any shard
+//! count: perturbation stays on the driving thread (same RNG streams),
+//! and shard tallies merge by commutative integer addition before the
+//! one floating-point estimation step runs on the merged counts.
+
+use crate::session::{IngestService, SessionId};
+use ldp_fo::{FoKind, OracleHandle};
+use ldp_ids::collector::{CollectorStats, ReportScope, RoundCollector, RoundEstimate};
+use ldp_ids::protocol::{GenericClientCollector, ReportRequest, ReportSink, UserResponse};
+use ldp_ids::{CoreError, MechanismConfig};
+use ldp_stream::StreamSource;
+use std::sync::Arc;
+
+/// A [`ReportSink`] that tallies into one [`IngestService`] session.
+#[derive(Debug)]
+pub struct ServiceSink {
+    service: Arc<IngestService>,
+    session: SessionId,
+}
+
+impl ServiceSink {
+    /// A sink over a fresh session of `service`.
+    pub fn new(service: Arc<IngestService>) -> Self {
+        let session = service.create_session();
+        ServiceSink { service, session }
+    }
+
+    /// The session this sink tallies into.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+impl Drop for ServiceSink {
+    fn drop(&mut self) {
+        self.service.end_session(self.session);
+    }
+}
+
+impl ReportSink for ServiceSink {
+    fn open_round(
+        &mut self,
+        t: u64,
+        fo: FoKind,
+        epsilon: f64,
+        oracle: OracleHandle,
+    ) -> ReportRequest {
+        self.service
+            .open_round(self.session, t, fo, epsilon, oracle)
+            .expect("session round lifecycle")
+    }
+
+    fn submit(&mut self, response: &UserResponse) -> Result<(), CoreError> {
+        self.service.submit(self.session, response.clone())
+    }
+
+    fn close_round(&mut self) -> Result<RoundEstimate, CoreError> {
+        self.service.close_round(self.session)
+    }
+
+    fn refusals(&self) -> u64 {
+        self.service.refusals(self.session)
+    }
+}
+
+/// A protocol-level collector whose aggregation runs on the service's
+/// worker pool.
+pub struct ParallelCollector {
+    inner: GenericClientCollector<ServiceSink>,
+}
+
+impl ParallelCollector {
+    /// A collector over `source` for `config` with device randomness
+    /// derived from `seed`, tallying on `service`.
+    pub fn new(
+        source: Box<dyn StreamSource>,
+        config: &MechanismConfig,
+        seed: u64,
+        service: Arc<IngestService>,
+    ) -> Self {
+        let sink = ServiceSink::new(service);
+        ParallelCollector {
+            inner: GenericClientCollector::with_sink(source, config, seed, sink),
+        }
+    }
+
+    /// Refusals observed so far (0 under any correct mechanism).
+    pub fn refusals(&self) -> u64 {
+        self.inner.refusals()
+    }
+}
+
+impl RoundCollector for ParallelCollector {
+    fn population(&self) -> u64 {
+        self.inner.population()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.inner.domain_size()
+    }
+
+    fn begin_step(&mut self) -> Result<(), CoreError> {
+        self.inner.begin_step()
+    }
+
+    fn collect(&mut self, scope: ReportScope, epsilon: f64) -> Result<RoundEstimate, CoreError> {
+        self.inner.collect(scope, epsilon)
+    }
+
+    fn stats(&self) -> CollectorStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::ServiceConfig;
+    use ldp_stream::source::ConstantSource;
+    use ldp_stream::TrueHistogram;
+
+    #[test]
+    fn mechanism_round_over_the_pool() {
+        let service = Arc::new(IngestService::new(
+            ServiceConfig::with_threads(2).with_batch_size(64),
+        ));
+        let source = ConstantSource::new(TrueHistogram::new(vec![700, 300]));
+        let config = MechanismConfig::new(1.0, 4, 2, 1000);
+        let mut collector = ParallelCollector::new(Box::new(source), &config, 9, service);
+        collector.begin_step().unwrap();
+        let est = collector.collect(ReportScope::All, 0.5).unwrap();
+        assert_eq!(est.reporters, 1000);
+        assert_eq!(collector.refusals(), 0);
+        assert_eq!(collector.stats().uplink_reports, 1000);
+    }
+}

@@ -1,0 +1,231 @@
+//! The worker pool: `std::thread` workers fed by bounded channels.
+//!
+//! Each worker owns its shard accumulators and drains its own inbox, so
+//! no locks sit on the fold path. Dispatch is round-robin over workers;
+//! the inboxes are bounded (`queue_depth` batches), so a producer that
+//! outruns the shards blocks on `send` — backpressure, not unbounded
+//! queue growth.
+//!
+//! Workers create a round's shard accumulator lazily from the first
+//! batch they see for it (every batch carries the round oracle), so
+//! opening a round touches no channel at all. Channel FIFO ordering per
+//! worker gives the only ordering guarantee the protocol then needs: a
+//! round's `Close` is enqueued after the caller's last batch for that
+//! round, so each worker replies only after folding everything it was
+//! handed.
+
+use crate::batch::{Batch, RoundKey};
+use crate::shard::{ShardAccumulator, ShardTally};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+enum WorkerMsg {
+    /// Fold one batch (sent to exactly one worker).
+    Ingest(Batch),
+    /// Finish the round and reply with this worker's tally — possibly
+    /// empty, when none of the round's batches landed here (broadcast).
+    Close {
+        key: RoundKey,
+        domain_size: usize,
+        reply: mpsc::Sender<ShardTally>,
+    },
+}
+
+/// A fixed set of shard workers.
+#[derive(Debug)]
+pub struct WorkerPool {
+    senders: Vec<mpsc::SyncSender<WorkerMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    cursor: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers with inboxes bounded at `queue_depth`
+    /// batches each.
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(queue_depth.max(1));
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ldp-shard-{worker}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        WorkerPool {
+            senders,
+            handles,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Hand one batch to the next worker (round-robin). Blocks when that
+    /// worker's inbox is full.
+    pub fn dispatch(&self, batch: Batch) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        self.senders[i]
+            .send(WorkerMsg::Ingest(batch))
+            .expect("shard worker alive");
+    }
+
+    /// Close a round on every worker and merge their tallies.
+    ///
+    /// Must happen-after every `dispatch` for the round (the session
+    /// layer's sequential round lifecycle guarantees this); the merge is
+    /// commutative integer addition, so reply arrival order cannot
+    /// change the result.
+    pub fn close_round(&self, key: RoundKey, domain_size: usize) -> ShardTally {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(WorkerMsg::Close {
+                key,
+                domain_size,
+                reply: reply_tx.clone(),
+            })
+            .expect("shard worker alive");
+        }
+        drop(reply_tx);
+        let mut merged = ShardTally::empty(domain_size);
+        for _ in 0..self.senders.len() {
+            let tally = reply_rx.recv().expect("shard worker replies");
+            merged.merge(&tally);
+        }
+        merged
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the inboxes; workers drain and exit.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: mpsc::Receiver<WorkerMsg>) {
+    let mut shards: HashMap<RoundKey, ShardAccumulator> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Ingest(batch) => {
+                let shard = shards
+                    .entry(batch.key)
+                    .or_insert_with(|| ShardAccumulator::new(batch.key, batch.oracle.clone()));
+                for response in &batch.responses {
+                    shard.fold(response);
+                }
+            }
+            WorkerMsg::Close {
+                key,
+                domain_size,
+                reply,
+            } => {
+                // A worker that was never handed one of the round's
+                // batches replies with an empty tally.
+                let tally = shards
+                    .remove(&key)
+                    .map(ShardAccumulator::into_tally)
+                    .unwrap_or_else(|| ShardTally::empty(domain_size));
+                // The session manager may have shut down mid-close;
+                // a dead reply channel is not this worker's problem.
+                let _ = reply.send(tally);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::RoundKey;
+    use crate::session::SessionId;
+    use ldp_fo::{build_oracle, FoKind, Report};
+    use ldp_ids::protocol::UserResponse;
+
+    fn key(round: u64) -> RoundKey {
+        RoundKey {
+            session: SessionId::from_raw(0),
+            round,
+        }
+    }
+
+    fn reports(round: u64, value: u32, n: usize) -> Vec<UserResponse> {
+        (0..n)
+            .map(|_| UserResponse::Report {
+                round,
+                report: Report::Grr(value),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tallies_across_workers_merge() {
+        let pool = WorkerPool::new(4, 2);
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        for _ in 0..10 {
+            pool.dispatch(Batch {
+                key: key(0),
+                oracle: oracle.clone(),
+                responses: reports(0, 1, 100),
+            });
+        }
+        let tally = pool.close_round(key(0), 3);
+        assert_eq!(tally.reporters, 1000);
+        // ε = 8 GRR keeps nearly all reports truthful; all support mass
+        // concentrates near cell 1 either way, but the *total* is exact.
+        assert_eq!(tally.support.iter().sum::<u64>(), 1000);
+        assert_eq!(tally.stale, 0);
+    }
+
+    #[test]
+    fn concurrent_rounds_stay_separate() {
+        let pool = WorkerPool::new(2, 4);
+        let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
+        pool.dispatch(Batch {
+            key: key(0),
+            oracle: oracle.clone(),
+            responses: reports(0, 0, 7),
+        });
+        pool.dispatch(Batch {
+            key: key(1),
+            oracle: oracle.clone(),
+            responses: reports(1, 1, 5),
+        });
+        let t0 = pool.close_round(key(0), 2);
+        let t1 = pool.close_round(key(1), 2);
+        assert_eq!(t0.reporters, 7);
+        assert_eq!(t1.reporters, 5);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1, 1);
+        let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
+        pool.dispatch(Batch {
+            key: key(0),
+            oracle,
+            responses: reports(0, 0, 3),
+        });
+        assert_eq!(pool.close_round(key(0), 2).reporters, 3);
+    }
+
+    #[test]
+    fn closing_an_undispatched_round_yields_empty_tally() {
+        let pool = WorkerPool::new(3, 1);
+        let tally = pool.close_round(key(9), 4);
+        assert_eq!(tally.reporters, 0);
+        assert_eq!(tally.support, vec![0; 4]);
+    }
+}

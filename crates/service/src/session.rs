@@ -1,0 +1,413 @@
+//! The [`IngestService`]: multi-round, multi-session lifecycle over one
+//! shared worker pool.
+//!
+//! A *session* is one logical stream/query: a strictly sequential
+//! sequence of collection rounds, mirroring
+//! [`AggregationServer`](ldp_ids::protocol::AggregationServer)'s
+//! contract. Any number of sessions may have rounds open concurrently —
+//! their accumulators live side by side in the workers, keyed by
+//! [`RoundKey`] — so independent mechanisms/queries ingest in parallel
+//! over the same threads.
+//!
+//! Round-id validation happens here, synchronously on the submitting
+//! thread, exactly as the sequential server does it; workers only ever
+//! see pre-validated traffic (their own stale counting is defensive).
+
+use crate::batch::{Batch, RoundKey, ServiceConfig};
+use crate::pool::WorkerPool;
+use ldp_fo::{FoKind, OracleHandle};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+use ldp_ids::CoreError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identifies one ingest session (one logical stream/query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// Construct from a raw id (test/interop helper; ids handed out by
+    /// [`IngestService::create_session`] are the normal path).
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct OpenRound {
+    request: ReportRequest,
+    oracle: OracleHandle,
+    pending: Vec<UserResponse>,
+}
+
+#[derive(Debug, Default)]
+struct SessionState {
+    next_round: u64,
+    open: Option<OpenRound>,
+    refusals: u64,
+}
+
+/// The sharded, parallel report-ingestion service.
+///
+/// Internally synchronized: all methods take `&self`, so one service
+/// behind an `Arc` serves any number of submitting threads and sessions.
+#[derive(Debug)]
+pub struct IngestService {
+    pool: WorkerPool,
+    config: ServiceConfig,
+    sessions: Mutex<HashMap<SessionId, SessionState>>,
+    next_session: AtomicU64,
+}
+
+impl IngestService {
+    /// A service sized by `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        IngestService {
+            pool: WorkerPool::new(config.threads, config.queue_depth),
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+        }
+    }
+
+    /// The sizing this service runs with.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Open a new session (an independent stream/query).
+    pub fn create_session(&self) -> SessionId {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed));
+        self.sessions
+            .lock()
+            .unwrap()
+            .insert(id, SessionState::default());
+        id
+    }
+
+    /// Open a collection round on `session` at timestamp `t`.
+    ///
+    /// # Panics
+    /// If the session already has an open round (sessions are strictly
+    /// sequential, like the in-process server) or does not exist.
+    pub fn open_round(
+        &self,
+        session: SessionId,
+        t: u64,
+        fo: FoKind,
+        epsilon: f64,
+        oracle: OracleHandle,
+    ) -> Result<ReportRequest, CoreError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        let state = sessions.get_mut(&session).expect("unknown session");
+        assert!(state.open.is_none(), "previous round not closed");
+        let request = ReportRequest {
+            round: state.next_round,
+            t,
+            fo,
+            epsilon,
+            domain_size: oracle.domain_size(),
+        };
+        state.next_round += 1;
+        state.open = Some(OpenRound {
+            request: request.clone(),
+            oracle,
+            pending: Vec::with_capacity(self.config.batch_size),
+        });
+        Ok(request)
+    }
+
+    /// Submit one response to `session`'s open round.
+    ///
+    /// Buffered into the current batch; every `batch_size` responses one
+    /// batch is dispatched to the pool (blocking if the pool is
+    /// saturated — backpressure).
+    pub fn submit(&self, session: SessionId, response: UserResponse) -> Result<(), CoreError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        let state = sessions.get_mut(&session).expect("unknown session");
+        let open = state.open.as_mut().ok_or(CoreError::NoOpenRound)?;
+        let (UserResponse::Report { round, .. } | UserResponse::Refused { round, .. }) = &response;
+        if *round != open.request.round {
+            return Err(CoreError::StaleRound {
+                expected: open.request.round,
+                got: *round,
+            });
+        }
+        open.pending.push(response);
+        if open.pending.len() >= self.config.batch_size {
+            let key = RoundKey {
+                session,
+                round: open.request.round,
+            };
+            let oracle = open.oracle.clone();
+            let responses = std::mem::replace(
+                &mut open.pending,
+                Vec::with_capacity(self.config.batch_size),
+            );
+            // Dispatch outside the sessions lock so a saturated pool
+            // back-pressures only this submitter, not every session.
+            drop(sessions);
+            self.pool.dispatch(Batch {
+                key,
+                oracle,
+                responses,
+            });
+        }
+        Ok(())
+    }
+
+    /// Submit many responses at once (amortizes session locking; used by
+    /// bulk producers such as the throughput bench).
+    pub fn submit_batch(
+        &self,
+        session: SessionId,
+        responses: Vec<UserResponse>,
+    ) -> Result<(), CoreError> {
+        let (key, oracle, batches) = {
+            let mut sessions = self.sessions.lock().unwrap();
+            let state = sessions.get_mut(&session).expect("unknown session");
+            let open = state.open.as_mut().ok_or(CoreError::NoOpenRound)?;
+            for response in &responses {
+                let (UserResponse::Report { round, .. } | UserResponse::Refused { round, .. }) =
+                    response;
+                if *round != open.request.round {
+                    return Err(CoreError::StaleRound {
+                        expected: open.request.round,
+                        got: *round,
+                    });
+                }
+            }
+            let key = RoundKey {
+                session,
+                round: open.request.round,
+            };
+            let mut responses = responses;
+            if !open.pending.is_empty() {
+                open.pending.append(&mut responses);
+                responses = std::mem::take(&mut open.pending);
+            }
+            // Chunk by draining the iterator — one move per element (a
+            // split_off loop would re-copy the remainder per batch).
+            let batch_size = self.config.batch_size;
+            let mut batches = Vec::with_capacity(responses.len() / batch_size + 1);
+            let mut rest = responses.into_iter();
+            loop {
+                let chunk: Vec<UserResponse> = rest.by_ref().take(batch_size).collect();
+                if chunk.len() < batch_size {
+                    open.pending = chunk;
+                    break;
+                }
+                batches.push(chunk);
+            }
+            (key, open.oracle.clone(), batches)
+        };
+        for responses in batches {
+            self.pool.dispatch(Batch {
+                key,
+                oracle: oracle.clone(),
+                responses,
+            });
+        }
+        Ok(())
+    }
+
+    /// Close `session`'s open round: flush the tail batch, gather every
+    /// shard's tally, merge, and estimate.
+    pub fn close_round(&self, session: SessionId) -> Result<RoundEstimate, CoreError> {
+        let (key, oracle, epsilon, tail) = {
+            let mut sessions = self.sessions.lock().unwrap();
+            let state = sessions.get_mut(&session).expect("unknown session");
+            let open = state.open.take().ok_or(CoreError::NoOpenRound)?;
+            let key = RoundKey {
+                session,
+                round: open.request.round,
+            };
+            (key, open.oracle, open.request.epsilon, open.pending)
+        };
+        if !tail.is_empty() {
+            self.pool.dispatch(Batch {
+                key,
+                oracle: oracle.clone(),
+                responses: tail,
+            });
+        }
+        let tally = self.pool.close_round(key, oracle.domain_size());
+        debug_assert_eq!(tally.stale, 0, "stale traffic past session validation");
+        if tally.refusals > 0 {
+            self.sessions
+                .lock()
+                .unwrap()
+                .get_mut(&session)
+                .expect("unknown session")
+                .refusals += tally.refusals;
+        }
+        let frequencies = oracle.estimate(&tally.support, tally.reporters);
+        Ok(RoundEstimate {
+            frequencies,
+            reporters: tally.reporters,
+            epsilon,
+        })
+    }
+
+    /// Refusals observed on `session` across closed rounds.
+    pub fn refusals(&self, session: SessionId) -> u64 {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&session)
+            .expect("unknown session")
+            .refusals
+    }
+
+    /// Drop a finished session's bookkeeping.
+    ///
+    /// # Panics
+    /// If the session still has an open round.
+    pub fn end_session(&self, session: SessionId) {
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(state) = sessions.remove(&session) {
+            assert!(state.open.is_none(), "ending session with an open round");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_fo::{build_oracle, Report};
+
+    fn service(threads: usize, batch: usize) -> IngestService {
+        IngestService::new(ServiceConfig::with_threads(threads).with_batch_size(batch))
+    }
+
+    #[test]
+    fn round_lifecycle_mirrors_sequential_server() {
+        let svc = service(3, 16);
+        let session = svc.create_session();
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        let req = svc
+            .open_round(session, 0, FoKind::Grr, 8.0, oracle)
+            .unwrap();
+        assert_eq!(req.round, 0);
+        for _ in 0..500 {
+            svc.submit(
+                session,
+                UserResponse::Report {
+                    round: 0,
+                    report: Report::Grr(1),
+                },
+            )
+            .unwrap();
+        }
+        let est = svc.close_round(session).unwrap();
+        assert_eq!(est.reporters, 500);
+        assert!(est.frequencies[1] > 0.9, "{est:?}");
+    }
+
+    #[test]
+    fn stale_and_no_round_are_typed_errors() {
+        let svc = service(2, 8);
+        let session = svc.create_session();
+        let response = UserResponse::Report {
+            round: 9,
+            report: Report::Grr(0),
+        };
+        assert_eq!(
+            svc.submit(session, response.clone()).unwrap_err(),
+            CoreError::NoOpenRound
+        );
+        let oracle = build_oracle(FoKind::Grr, 1.0, 2).unwrap();
+        svc.open_round(session, 0, FoKind::Grr, 1.0, oracle)
+            .unwrap();
+        assert!(matches!(
+            svc.submit(session, response).unwrap_err(),
+            CoreError::StaleRound {
+                expected: 0,
+                got: 9
+            }
+        ));
+        svc.close_round(session).unwrap();
+        assert_eq!(
+            svc.close_round(session).unwrap_err(),
+            CoreError::NoOpenRound
+        );
+    }
+
+    #[test]
+    fn sessions_ingest_concurrently() {
+        let svc = service(2, 4);
+        let a = svc.create_session();
+        let b = svc.create_session();
+        let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
+        svc.open_round(a, 0, FoKind::Grr, 8.0, oracle.clone())
+            .unwrap();
+        svc.open_round(b, 5, FoKind::Grr, 8.0, oracle).unwrap();
+        for _ in 0..10 {
+            svc.submit(
+                a,
+                UserResponse::Report {
+                    round: 0,
+                    report: Report::Grr(0),
+                },
+            )
+            .unwrap();
+            svc.submit(
+                b,
+                UserResponse::Report {
+                    round: 0,
+                    report: Report::Grr(1),
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(svc.close_round(b).unwrap().reporters, 10);
+        assert_eq!(svc.close_round(a).unwrap().reporters, 10);
+        svc.end_session(a);
+        svc.end_session(b);
+    }
+
+    #[test]
+    fn refusals_accumulate_per_session() {
+        let svc = service(2, 4);
+        let session = svc.create_session();
+        let oracle = build_oracle(FoKind::Grr, 1.0, 2).unwrap();
+        svc.open_round(session, 0, FoKind::Grr, 1.0, oracle)
+            .unwrap();
+        svc.submit(
+            session,
+            UserResponse::Refused {
+                round: 0,
+                requested: 1.0,
+                available: 0.0,
+            },
+        )
+        .unwrap();
+        let est = svc.close_round(session).unwrap();
+        assert_eq!(est.reporters, 0);
+        assert_eq!(svc.refusals(session), 1);
+    }
+
+    #[test]
+    fn submit_batch_splits_and_flushes() {
+        let svc = service(2, 10);
+        let session = svc.create_session();
+        let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
+        svc.open_round(session, 0, FoKind::Grr, 8.0, oracle)
+            .unwrap();
+        let responses: Vec<UserResponse> = (0..37)
+            .map(|_| UserResponse::Report {
+                round: 0,
+                report: Report::Grr(0),
+            })
+            .collect();
+        svc.submit_batch(session, responses).unwrap();
+        assert_eq!(svc.close_round(session).unwrap().reporters, 37);
+    }
+}

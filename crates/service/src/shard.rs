@@ -1,0 +1,182 @@
+//! Per-shard support-count accumulation.
+//!
+//! Each pool worker owns one [`ShardAccumulator`] per open round it has
+//! seen traffic for. Folding a report is the round oracle's
+//! `accumulate` — integer increments of per-cell support counts — so the
+//! merged tally over any partition of the response stream equals the
+//! sequential tally exactly (u64 addition is commutative and
+//! associative), which is what makes the parallel service's estimates
+//! bit-identical to `AggregationServer`'s.
+
+use crate::batch::RoundKey;
+use ldp_fo::OracleHandle;
+use ldp_ids::protocol::UserResponse;
+
+/// One worker's view of one round: a partition of the support counts.
+#[derive(Debug)]
+pub struct ShardAccumulator {
+    key: RoundKey,
+    oracle: OracleHandle,
+    tally: ShardTally,
+}
+
+/// The mergeable outcome of one shard (or of the whole round, after
+/// merging every shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTally {
+    /// Raw per-cell support counts.
+    pub support: Vec<u64>,
+    /// Reports folded in.
+    pub reporters: u64,
+    /// Refusals observed.
+    pub refusals: u64,
+    /// Responses dropped for echoing a wrong round id. The session
+    /// manager validates ids before dispatch, so nonzero means a late
+    /// message slipped a session's validation — counted, never tallied.
+    pub stale: u64,
+}
+
+impl ShardTally {
+    /// An empty tally over a domain of `d` cells.
+    pub fn empty(d: usize) -> Self {
+        ShardTally {
+            support: vec![0; d],
+            reporters: 0,
+            refusals: 0,
+            stale: 0,
+        }
+    }
+
+    /// Merge another shard's tally into this one.
+    pub fn merge(&mut self, other: &ShardTally) {
+        assert_eq!(
+            self.support.len(),
+            other.support.len(),
+            "merging tallies of different domains"
+        );
+        for (a, b) in self.support.iter_mut().zip(&other.support) {
+            *a += b;
+        }
+        self.reporters += other.reporters;
+        self.refusals += other.refusals;
+        self.stale += other.stale;
+    }
+}
+
+impl ShardAccumulator {
+    /// A fresh shard for `key`, folding through `oracle`.
+    pub fn new(key: RoundKey, oracle: OracleHandle) -> Self {
+        let d = oracle.domain_size();
+        ShardAccumulator {
+            key,
+            oracle,
+            tally: ShardTally::empty(d),
+        }
+    }
+
+    /// The round this shard belongs to.
+    pub fn key(&self) -> RoundKey {
+        self.key
+    }
+
+    /// Fold one response into the shard.
+    pub fn fold(&mut self, response: &UserResponse) {
+        match response {
+            UserResponse::Report { round, report } => {
+                if *round != self.key.round {
+                    self.tally.stale += 1;
+                    return;
+                }
+                self.oracle.accumulate(report, &mut self.tally.support);
+                self.tally.reporters += 1;
+            }
+            UserResponse::Refused { round, .. } => {
+                if *round != self.key.round {
+                    self.tally.stale += 1;
+                    return;
+                }
+                self.tally.refusals += 1;
+            }
+        }
+    }
+
+    /// Finish the shard, yielding its tally.
+    pub fn into_tally(self) -> ShardTally {
+        self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionId;
+    use ldp_fo::{build_oracle, FoKind, Report};
+
+    fn key() -> RoundKey {
+        RoundKey {
+            session: SessionId::from_raw(1),
+            round: 3,
+        }
+    }
+
+    #[test]
+    fn folds_reports_and_refusals() {
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        let mut shard = ShardAccumulator::new(key(), oracle);
+        shard.fold(&UserResponse::Report {
+            round: 3,
+            report: Report::Grr(1),
+        });
+        shard.fold(&UserResponse::Refused {
+            round: 3,
+            requested: 1.0,
+            available: 0.0,
+        });
+        let tally = shard.into_tally();
+        assert_eq!(tally.reporters, 1);
+        assert_eq!(tally.refusals, 1);
+        assert_eq!(tally.support, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn stale_responses_counted_not_tallied() {
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        let mut shard = ShardAccumulator::new(key(), oracle);
+        shard.fold(&UserResponse::Report {
+            round: 99,
+            report: Report::Grr(1),
+        });
+        let tally = shard.into_tally();
+        assert_eq!(tally.stale, 1);
+        assert_eq!(tally.reporters, 0);
+        assert_eq!(tally.support, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = ShardTally {
+            support: vec![1, 2],
+            reporters: 3,
+            refusals: 1,
+            stale: 0,
+        };
+        let b = ShardTally {
+            support: vec![10, 20],
+            reporters: 30,
+            refusals: 0,
+            stale: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.support, vec![11, 22]);
+        assert_eq!(a.reporters, 33);
+        assert_eq!(a.refusals, 1);
+        assert_eq!(a.stale, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different domains")]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = ShardTally::empty(2);
+        a.merge(&ShardTally::empty(3));
+    }
+}

@@ -61,7 +61,7 @@ impl Snapshot {
         let d = hist.domain_size();
         let mut values = Vec::with_capacity(n);
         for (k, &c) in hist.counts().iter().enumerate() {
-            values.extend(std::iter::repeat(k as u16).take(c as usize));
+            values.extend(std::iter::repeat_n(k as u16, c as usize));
         }
         values.shuffle(rng);
         Snapshot {

@@ -1,0 +1,15 @@
+//! Workspace root package.
+//!
+//! Exists to host the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`); all functionality lives in the
+//! `crates/` members. Re-exports the member crates so examples and
+//! downstream docs can reach everything through one name.
+
+pub use ldp_bench as bench;
+pub use ldp_cdp as cdp;
+pub use ldp_fo as fo;
+pub use ldp_ids as ids;
+pub use ldp_metrics as metrics;
+pub use ldp_service as service;
+pub use ldp_stream as stream;
+pub use ldp_util as util;

@@ -1,0 +1,181 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Keeps the workspace's benchmark targets compiling and runnable with
+//! no external dependencies: each benchmark is timed with a simple
+//! warmup + fixed-iteration measurement and reported as mean ns/iter on
+//! stdout. No statistical analysis, HTML reports, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark id: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing mean ns/iter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: grow the batch until it runs ≥ 20 ms.
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(20) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.mean_ns = elapsed.as_nanos() as f64 / batch as f64;
+        self.iters_done = batch;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Finish the group (reporting is incremental; kept for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 / (b.mean_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.0} B/s", n as f64 / (b.mean_ns * 1e-9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.1} ns/iter ({} iters){rate}",
+            self.name, b.mean_ns, b.iters_done
+        );
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("", f);
+        group.finish();
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

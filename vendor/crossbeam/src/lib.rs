@@ -1,0 +1,78 @@
+//! Offline drop-in subset of `crossbeam`: scoped threads, delegated to
+//! `std::thread::scope` (stable since 1.63, which post-dates crossbeam's
+//! scoped-thread API — the workspace predates switching call sites).
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle used to spawn more threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread; the closure receives the scope so it can
+        /// spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; all are joined before `scope` returns.
+    ///
+    /// Panic semantics differ slightly from crossbeam: a panicking child
+    /// re-raises the panic here (via `std::thread::scope`) instead of
+    /// materializing as `Err`, so callers' `.expect(..)` unwraps `Ok`
+    /// in the success path and never observes the error path.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let counter = AtomicU64::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let counter = AtomicU64::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 1);
+        }
+
+        #[test]
+        #[should_panic]
+        fn child_panics_propagate() {
+            let _ = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports the slice of the API this workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! range and [`collection::vec`] strategies, [`any`], `prop_map`, and
+//! the `prop_assert*` macros with [`TestCaseError`].
+//!
+//! Differences from real proptest, by design: cases are generated from a
+//! deterministic per-test seed (derived from the test name) instead of
+//! OS entropy, and failing inputs are *not* shrunk — the failing case's
+//! number is reported and the original assertion message carries the
+//! diagnostic. Case count defaults to [`ProptestConfig::DEFAULT_CASES`]
+//! and honours the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// The default case count (overridable via `PROPTEST_CASES`).
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Self::DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A fixed value as a (degenerate) strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategies drawing from explicit value sets.
+pub mod sample {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy selecting uniformly from `options` (cloned up front).
+    pub fn select<T: Clone>(options: &[T]) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select {
+            options: options.to_vec(),
+        }
+    }
+
+    /// The [`select`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Strategy for "any value of `T`".
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The [`any`] strategy.
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types producible by [`any`].
+pub trait Arbitrary {
+    /// One arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Deterministic per-test RNG: tests rerun identically build to build.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Assert inside a property (returns `TestCaseError` instead of
+/// panicking, so the runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0u64..100, v in proptest::collection::vec(0f64..1.0, 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { ($config:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)* } => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut __pt_rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut __pt_rejected: u32 = 0;
+                let mut __pt_case: u32 = 0;
+                while __pt_case < config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __pt_rng);)*
+                    let __pt_result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __pt_result {
+                        ::core::result::Result::Ok(()) => { __pt_case += 1; }
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            __pt_rejected += 1;
+                            assert!(
+                                __pt_rejected < config.cases * 16,
+                                "too many rejected cases in {}", stringify!($name)
+                            );
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(reason)) => {
+                            panic!(
+                                "property {} failed at case {}: {}",
+                                stringify!($name), __pt_case, reason
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(0u8..10, 2..6),
+            w in crate::collection::vec(0u8..10, 4usize),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_attribute_is_accepted(b in any::<bool>()) {
+            prop_assert!(matches!(b, true | false));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (1u64..5).prop_map(|x| x * 10);
+        let mut rng = crate::test_rng("map");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    // The nested `#[test]` is expansion detail: `inner` is invoked
+    // directly below, never by the harness.
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #[test]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

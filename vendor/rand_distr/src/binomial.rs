@@ -1,0 +1,219 @@
+//! Exact binomial sampling: CDF inversion for small means, Hörmann's
+//! BTRS transformed rejection otherwise.
+
+use crate::ln_gamma;
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Parameter error for [`Binomial::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinomialError {
+    /// `p` was outside `[0, 1]` or not finite.
+    ProbabilityInvalid,
+}
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "binomial p must lie in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// The binomial distribution `Bin(n, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// A binomial distribution with `n` trials of success probability `p`.
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(BinomialError::ProbabilityInvalid);
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Sample the smaller tail and mirror, so p' <= 1/2.
+        let flipped = p > 0.5;
+        let q = if flipped { 1.0 - p } else { p };
+        let np = n as f64 * q;
+        let sample = if np < 10.0 {
+            sample_inversion(rng, n, q)
+        } else {
+            sample_btrs(rng, n, q)
+        };
+        if flipped {
+            n - sample
+        } else {
+            sample
+        }
+    }
+}
+
+/// CDF inversion via the pmf recurrence; expected O(np) steps.
+fn sample_inversion<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // P(X = 0) = q^n, computed in log space for tiny q^n.
+    let mut pmf = (n as f64 * q.ln()).exp();
+    let mut cdf = pmf;
+    let mut x: u64 = 0;
+    let u: f64 = rng.gen();
+    while cdf < u && x < n {
+        pmf *= s * (n - x) as f64 / (x + 1) as f64;
+        cdf += pmf;
+        x += 1;
+    }
+    x
+}
+
+/// Hörmann's BTRS algorithm (transformed rejection with squeeze);
+/// requires `p <= 1/2` and `np >= 10`. Exact.
+fn sample_btrs<R: RngCore + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let stddev = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * stddev;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let r = p / q;
+    let alpha = (2.83 + 5.1 / b) * stddev;
+    let m = ((nf + 1.0) * p).floor();
+    loop {
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let mut v: f64 = rng.gen();
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        if us >= 0.07 && v <= v_r {
+            return kf as u64;
+        }
+        let k = kf;
+        v = (v * alpha / (a / (us * us) + b)).ln();
+        let upper = (m + 0.5) * ((m + 1.0) / (r * (nf - m + 1.0))).ln()
+            + (nf + 1.0) * ((nf - m + 1.0) / (nf - k + 1.0)).ln()
+            + (k + 0.5) * (r * (nf - k + 1.0) / (k + 1.0)).ln()
+            + stirling_tail(m)
+            + stirling_tail(nf - m)
+            - stirling_tail(k)
+            - stirling_tail(nf - k);
+        if v <= upper {
+            return k as u64;
+        }
+    }
+}
+
+/// `ln(k!) - [k ln k - k + 0.5 ln(2πk)]`, the Stirling correction.
+fn stirling_tail(k: f64) -> f64 {
+    // Tabulated for small k (accuracy matters most there), series above.
+    const TABLE: [f64; 10] = [
+        0.081_061_466_795_327_8,
+        0.041_340_695_955_409_5,
+        0.027_677_925_684_998_6,
+        0.020_790_672_103_765_1,
+        0.016_644_691_189_821_2,
+        0.013_876_128_823_071_1,
+        0.011_896_709_945_892_4,
+        0.010_411_265_261_972_1,
+        0.009_255_462_182_712_76,
+        0.008_330_563_433_362_87,
+    ];
+    let kp1 = k + 1.0;
+    if k < 10.0 {
+        // Exact via log-gamma keeps the squeeze valid for any k.
+        let idx = k as usize;
+        if (k - idx as f64).abs() < 1e-9 {
+            return TABLE[idx];
+        }
+        return ln_gamma(kp1) - (kp1 - 0.5) * kp1.ln() + kp1
+            - 0.5 * (2.0 * std::f64::consts::PI).ln();
+    }
+    let inv = 1.0 / kp1;
+    let inv2 = inv * inv;
+    (1.0 / 12.0 - (1.0 / 360.0 - inv2 / 1260.0) * inv2) * inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(n: u64, p: f64, trials: u64, seed: u64) -> (f64, f64) {
+        let dist = Binomial::new(n, p).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..trials).map(|_| dist.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (trials - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn small_mean_inversion_moments() {
+        let (mean, var) = moments(100, 0.03, 40_000, 1);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 2.91).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn btrs_moments_large_n() {
+        let (mean, var) = moments(1_000_000, 0.4, 20_000, 2);
+        let (em, ev) = (400_000.0, 240_000.0);
+        assert!((mean - em).abs() / em < 0.001, "mean {mean}");
+        assert!((var - ev).abs() / ev < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn flipped_p_moments() {
+        let (mean, var) = moments(10_000, 0.87, 20_000, 3);
+        let (em, ev) = (8_700.0, 1_131.0);
+        assert!((mean - em).abs() / em < 0.002, "mean {mean}");
+        assert!((var - ev).abs() / ev < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let dist = Binomial::new(50, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(dist.sample(&mut rng) <= 50);
+        }
+    }
+
+    #[test]
+    fn stirling_tail_continuity() {
+        // Table and series must agree where they meet.
+        let series_at_10 = {
+            let inv = 1.0 / 11.0;
+            let inv2: f64 = inv * inv;
+            (1.0 / 12.0 - (1.0 / 360.0 - inv2 / 1260.0) * inv2) * inv
+        };
+        let exact =
+            ln_gamma(11.0) - 10.5 * 11.0f64.ln() + 11.0 - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((series_at_10 - exact).abs() < 1e-8);
+    }
+}

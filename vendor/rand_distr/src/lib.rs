@@ -1,0 +1,89 @@
+//! Offline drop-in subset of the `rand_distr` 0.4 API.
+//!
+//! Provides exactly the samplers the workspace uses — [`Binomial`],
+//! [`Hypergeometric`], [`StandardNormal`] — as *exact* samplers:
+//!
+//! * `Binomial` uses CDF inversion for small means and Hörmann's BTRS
+//!   transformed-rejection algorithm otherwise, so the paper's 10⁶-user
+//!   aggregate draws stay O(1) per sample;
+//! * `Hypergeometric` uses mode-seeded CDF inversion with a log-space
+//!   pmf seed (cannot overflow, unlike upstream 0.4's factorial
+//!   products — the corner `ldp_util::hypergeometric` documents);
+//! * `StandardNormal` is a Box–Muller transform.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+mod binomial;
+mod hypergeometric;
+
+pub use binomial::{Binomial, BinomialError};
+pub use hypergeometric::{Hypergeometric, HypergeometricError};
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; discard the paired variate to stay stateless.
+        loop {
+            let u1: f64 = rng.gen();
+            if u1 > 0.0 {
+                let u2: f64 = rng.gen();
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+/// Shared log-gamma (Lanczos g = 7, n = 9) for exact pmf seeds.
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0);
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let z: f64 = StandardNormal.sample(&mut rng);
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+    }
+}
