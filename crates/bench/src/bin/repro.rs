@@ -1,16 +1,18 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|all> [options]
+//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|recovery|all> [options]
 //!
 //! options:
 //!   --quick          shrunk populations / truncated streams (same grids)
 //!   --seeds N        average over N seeds (default: 3 paper, 2 quick)
 //!   --json DIR       also write each figure as JSON under DIR
 //!   --threads N      worker threads (default: all cores)
+//!   --stamp ISO      ISO-8601 timestamp recorded in benchmark artifacts
 //! ```
 
 use ldp_bench::experiments::{self, ExperimentCtx};
+use ldp_bench::hostmeta::HostMeta;
 use ldp_bench::output::Figure;
 use ldp_bench::scale::RunScale;
 use std::path::PathBuf;
@@ -22,6 +24,7 @@ struct Cli {
     seeds: Option<usize>,
     json_dir: Option<PathBuf>,
     threads: Option<usize>,
+    stamp: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -31,6 +34,7 @@ fn parse_args() -> Result<Cli, String> {
         seeds: None,
         json_dir: None,
         threads: None,
+        stamp: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +56,10 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--threads needs a value")?;
                 cli.threads = Some(v.parse().map_err(|_| format!("bad thread count `{v}`"))?);
             }
+            "--stamp" => {
+                let v = args.next().ok_or("--stamp needs an ISO-8601 timestamp")?;
+                cli.stamp = Some(v);
+            }
             "--help" | "-h" => {
                 println!("{}", USAGE);
                 std::process::exit(0);
@@ -66,9 +74,32 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
-const USAGE: &str =
-    "usage: repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|all> \
-[--quick] [--seeds N] [--json DIR] [--threads N]";
+const USAGE: &str = "usage: repro \
+<fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|recovery|all> \
+[--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO]";
+
+/// Write a benchmark artifact to the repo root and, when `--json` names
+/// a directory, next to the figure JSONs too.
+fn write_artifact(
+    name: &str,
+    json_dir: Option<&std::path::Path>,
+    write: impl Fn(&std::path::Path) -> std::io::Result<PathBuf>,
+) {
+    let mut outputs = vec![PathBuf::from(name)];
+    if let Some(dir) = json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("# failed to create {}: {e}", dir.display());
+        } else {
+            outputs.push(dir.join(name));
+        }
+    }
+    for path in outputs {
+        match write(&path) {
+            Ok(path) => eprintln!("# wrote {}", path.display()),
+            Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+        }
+    }
+}
 
 fn main() {
     let cli = match parse_args() {
@@ -104,23 +135,22 @@ fn main() {
             "fig8" => vec![experiments::fig8::run(&ctx)],
             "table2" => vec![experiments::table2::run(&ctx)],
             "throughput" => {
-                let report = experiments::throughput::run(cli.scale);
+                let host = HostMeta::capture(cli.stamp.clone());
+                let report = experiments::throughput::run(cli.scale, host);
                 println!("{}", report.render());
-                let mut outputs = vec![PathBuf::from("BENCH_throughput.json")];
-                if let Some(dir) = &cli.json_dir {
-                    // Land next to the figure JSONs too when --json is given.
-                    if let Err(e) = std::fs::create_dir_all(dir) {
-                        eprintln!("# failed to create {}: {e}", dir.display());
-                    } else {
-                        outputs.push(dir.join("BENCH_throughput.json"));
-                    }
-                }
-                for path in outputs {
-                    match report.write_json(&path) {
-                        Ok(path) => eprintln!("# wrote {}", path.display()),
-                        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
-                    }
-                }
+                write_artifact("BENCH_throughput.json", cli.json_dir.as_deref(), |path| {
+                    report.write_json(path)
+                });
+                eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
+                continue;
+            }
+            "recovery" => {
+                let host = HostMeta::capture(cli.stamp.clone());
+                let report = experiments::recovery::run(cli.scale, host);
+                println!("{}", report.render());
+                write_artifact("BENCH_recovery.json", cli.json_dir.as_deref(), |path| {
+                    report.write_json(path)
+                });
                 eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
                 continue;
             }

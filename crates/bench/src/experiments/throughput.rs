@@ -14,6 +14,7 @@
 //! cores — `host_cores` is recorded so a single-core container's flat
 //! profile is attributable.
 
+use crate::hostmeta::HostMeta;
 use crate::scale::RunScale;
 use ldp_fo::{build_oracle, FoKind};
 use ldp_ids::protocol::UserResponse;
@@ -65,8 +66,8 @@ pub struct ThroughputReport {
     pub reports_per_round: u64,
     /// Responses per dispatched batch.
     pub batch_size: usize,
-    /// Cores the host exposes (parallel speedup is bounded by this).
-    pub host_cores: usize,
+    /// Host the artifact was produced on (cores bound any speedup).
+    pub host: HostMeta,
     /// One entry per thread count in [`THREAD_SWEEP`].
     pub runs: Vec<ThroughputRun>,
 }
@@ -83,14 +84,14 @@ impl ThroughputReport {
             );
         }
         format!(
-            "== throughput — {} reports/round, {} d={} ε={}, batch {}, {} host cores ==\n{}",
+            "== throughput — {} reports/round, {} d={} ε={}, batch {} ==\n{}\n{}",
             self.reports_per_round,
             self.fo,
             self.domain_size,
             self.epsilon,
             self.batch_size,
-            self.host_cores,
-            table.render()
+            table.render(),
+            self.host.render()
         )
     }
 
@@ -102,8 +103,8 @@ impl ThroughputReport {
     }
 }
 
-/// Run the sweep at `scale`.
-pub fn run(scale: RunScale) -> ThroughputReport {
+/// Run the sweep at `scale`, stamping the artifact with `host`.
+pub fn run(scale: RunScale, host: HostMeta) -> ThroughputReport {
     let epsilon = 1.0;
     let domain_size = 128;
     let batch_size = 4096;
@@ -129,10 +130,10 @@ pub fn run(scale: RunScale) -> ThroughputReport {
             let service = Arc::new(IngestService::new(
                 ServiceConfig::with_threads(threads).with_batch_size(batch_size),
             ));
-            let session = service.create_session();
+            let session = service.create_session().expect("create session");
             let responses = template.clone();
             service
-                .open_round(session, 0, FoKind::Oue, epsilon, oracle.clone())
+                .open_round(session, 0, FoKind::Oue, epsilon, domain_size)
                 .expect("open round");
             let start = Instant::now();
             // Submit in frontend-sized chunks; `submit_batch` re-slices to
@@ -149,7 +150,7 @@ pub fn run(scale: RunScale) -> ThroughputReport {
             let estimate = service.close_round(session).expect("close round");
             let elapsed = start.elapsed().as_secs_f64();
             assert_eq!(estimate.reporters, reports, "round lost reports");
-            service.end_session(session);
+            service.end_session(session).expect("end session");
             best_elapsed = best_elapsed.min(elapsed);
         }
         let reports_per_sec = reports as f64 / best_elapsed;
@@ -169,9 +170,7 @@ pub fn run(scale: RunScale) -> ThroughputReport {
         domain_size,
         reports_per_round: reports,
         batch_size,
-        host_cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        host,
         runs,
     }
 }
@@ -182,7 +181,7 @@ mod tests {
 
     #[test]
     fn quick_sweep_measures_every_thread_count() {
-        let report = run(RunScale::Quick);
+        let report = run(RunScale::Quick, HostMeta::capture(None));
         assert_eq!(report.runs.len(), THREAD_SWEEP.len());
         assert_eq!(report.reports_per_round, 100_000);
         for run in &report.runs {

@@ -1,0 +1,102 @@
+//! Host metadata stamped into benchmark artifacts.
+//!
+//! Throughput numbers from a 1-core CI container and an 8-core
+//! workstation are not comparable; the committed JSON artifacts carry
+//! the logical core count, the compiler that built the binary, and an
+//! ISO-8601 timestamp (passed in by the harness via `--stamp`, since
+//! the benchmark itself should not trust the container clock) so every
+//! number is attributable to the machine that produced it.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a benchmark artifact was produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Logical cores the host exposes (bounds any parallel speedup).
+    pub cores: usize,
+    /// `rustc --version` of the toolchain on the host, or `"unknown"`
+    /// when the compiler is not on the bench host's PATH.
+    pub rustc: String,
+    /// ISO-8601 timestamp passed in by the harness (`--stamp`); `None`
+    /// when the run was not stamped.
+    pub stamped_at: Option<String>,
+}
+
+impl HostMeta {
+    /// Capture the current host, stamped with `stamp` when given (the
+    /// harness passes an ISO-8601 timestamp; `BENCH_STAMP` in the
+    /// environment is the fallback).
+    pub fn capture(stamp: Option<String>) -> Self {
+        HostMeta {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            rustc: rustc_version().unwrap_or_else(|| "unknown".into()),
+            stamped_at: stamp.or_else(|| std::env::var("BENCH_STAMP").ok()),
+        }
+    }
+
+    /// Render as a one-line table footer.
+    pub fn render(&self) -> String {
+        format!(
+            "host: {} cores, {}{}",
+            self.cores,
+            self.rustc,
+            match &self.stamped_at {
+                Some(stamp) => format!(", {stamp}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+fn rustc_version() -> Option<String> {
+    let out = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let version = String::from_utf8(out.stdout).ok()?;
+    let version = version.trim();
+    (!version.is_empty()).then(|| version.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_reports_at_least_one_core() {
+        let meta = HostMeta::capture(Some("2026-08-07T00:00:00Z".into()));
+        assert!(meta.cores >= 1);
+        assert!(!meta.rustc.is_empty());
+        assert_eq!(meta.stamped_at.as_deref(), Some("2026-08-07T00:00:00Z"));
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        let meta = HostMeta {
+            cores: 4,
+            rustc: "rustc 1.95.0".into(),
+            stamped_at: None,
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: HostMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn render_mentions_cores_and_compiler() {
+        let meta = HostMeta {
+            cores: 2,
+            rustc: "rustc 1.95.0".into(),
+            stamped_at: Some("2026-08-07T12:00:00Z".into()),
+        };
+        let line = meta.render();
+        assert!(line.contains("2 cores"));
+        assert!(line.contains("1.95.0"));
+        assert!(line.contains("2026-08-07"));
+    }
+}

@@ -21,11 +21,13 @@
 
 pub mod experiments;
 pub mod grid;
+pub mod hostmeta;
 pub mod output;
 pub mod scale;
 pub mod spec;
 
 pub use grid::run_parallel;
+pub use hostmeta::HostMeta;
 pub use output::{Figure, Panel};
 pub use scale::{RunScale, SharedStreams};
 pub use spec::{RunOutcome, RunSpec};

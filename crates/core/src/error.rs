@@ -63,6 +63,52 @@ pub enum CoreError {
     /// `submit`/`close_round` was called with no collection round open —
     /// the message arrived outside any round's lifetime.
     NoOpenRound,
+    /// An operation referenced a session id that was never created or has
+    /// already ended.
+    UnknownSession {
+        /// The raw id the operation carried.
+        session: u64,
+    },
+    /// A session operation that requires no open round (opening the next
+    /// round, ending the session) arrived while a round is still open.
+    SessionBusy {
+        /// The session the operation targeted.
+        session: u64,
+        /// The round still open on it.
+        round: u64,
+    },
+    /// A durable submission skipped ahead of the session's write-ahead
+    /// sequence — an earlier delta was lost on the wire, so applying this
+    /// one would leave an unreplayable gap in the log.
+    SequenceGap {
+        /// The next sequence number the session will accept.
+        expected: u64,
+        /// The sequence number the submission carried.
+        got: u64,
+    },
+    /// The write-ahead log could not be created, appended, or synced.
+    Wal {
+        /// Human-readable failure description (operation + io error).
+        detail: String,
+    },
+    /// A durability file (WAL frame or snapshot) failed validation:
+    /// bad magic, short header, length/checksum mismatch, or an
+    /// undecodable payload.
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// Replaying the WAL reached a record that contradicts the
+    /// reconstructed state (e.g. a close for a round that is not open) —
+    /// the log itself is internally inconsistent.
+    RecoveryMismatch {
+        /// What the replay expected vs. what the log said.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -108,6 +154,25 @@ impl std::fmt::Display for CoreError {
                 "response for stale round {got}; round {expected} is open"
             ),
             CoreError::NoOpenRound => write!(f, "no collection round is open"),
+            CoreError::UnknownSession { session } => {
+                write!(f, "session {session} was never created or has ended")
+            }
+            CoreError::SessionBusy { session, round } => {
+                write!(f, "session {session} still has round {round} open")
+            }
+            CoreError::SequenceGap { expected, got } => write!(
+                f,
+                "submission sequence {got} skips ahead; next accepted is {expected}"
+            ),
+            CoreError::Wal { detail } => write!(f, "write-ahead log failure: {detail}"),
+            CoreError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(f, "corrupt durability file {file} at byte {offset}: {detail}"),
+            CoreError::RecoveryMismatch { detail } => {
+                write!(f, "WAL replay contradicts recovered state: {detail}")
+            }
         }
     }
 }
@@ -161,6 +226,26 @@ mod tests {
                 got: 1,
             },
             CoreError::NoOpenRound,
+            CoreError::UnknownSession { session: 7 },
+            CoreError::SessionBusy {
+                session: 7,
+                round: 2,
+            },
+            CoreError::SequenceGap {
+                expected: 4,
+                got: 9,
+            },
+            CoreError::Wal {
+                detail: "append: disk full".into(),
+            },
+            CoreError::Corrupt {
+                file: "wal-0.log".into(),
+                offset: 128,
+                detail: "checksum mismatch".into(),
+            },
+            CoreError::RecoveryMismatch {
+                detail: "close for round 3 but round 2 is open".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -1,6 +1,7 @@
 //! Batching: the unit of work handed to pool workers.
 
 use crate::session::SessionId;
+use crate::wal::WalSync;
 use ldp_fo::OracleHandle;
 use ldp_ids::protocol::UserResponse;
 
@@ -39,6 +40,20 @@ pub struct ServiceConfig {
     /// Bound of each worker's inbox, in batches. When every inbox is
     /// full, `submit` blocks — backpressure against unbounded arrival.
     pub queue_depth: usize,
+    /// Fsync discipline of the write-ahead log. Only meaningful for a
+    /// service opened durably ([`IngestService::open`]); ignored by
+    /// [`IngestService::new`].
+    ///
+    /// [`IngestService::open`]: crate::IngestService::open
+    /// [`IngestService::new`]: crate::IngestService::new
+    pub sync: WalSync,
+    /// WAL records between automatic tally snapshots (which also rotate
+    /// the WAL, bounding replay cost on restart). `0` disables automatic
+    /// snapshots; [`IngestService::checkpoint`] still snapshots on
+    /// demand. Only meaningful for a durable service.
+    ///
+    /// [`IngestService::checkpoint`]: crate::IngestService::checkpoint
+    pub snapshot_every: u64,
 }
 
 impl ServiceConfig {
@@ -55,6 +70,19 @@ impl ServiceConfig {
         self.batch_size = batch_size.max(1);
         self
     }
+
+    /// Override the WAL fsync discipline.
+    pub fn with_sync(mut self, sync: WalSync) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Override the automatic snapshot cadence (WAL records between
+    /// snapshots; 0 disables).
+    pub fn with_snapshot_every(mut self, snapshot_every: u64) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
+    }
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +93,8 @@ impl Default for ServiceConfig {
                 .unwrap_or(1),
             batch_size: 4096,
             queue_depth: 8,
+            sync: WalSync::Batch,
+            snapshot_every: 4096,
         }
     }
 }

@@ -25,20 +25,28 @@
 //!   [`RoundCollector`](ldp_ids::RoundCollector) implementation that
 //!   runs every existing mechanism (LBD/LBA/LPD/LPA/…) over the sharded
 //!   service unchanged, via the core protocol driver's
-//!   [`ReportSink`](ldp_ids::protocol::ReportSink) seam.
+//!   [`ReportSink`](ldp_ids::protocol::ReportSink) seam;
+//! * [`wal`] — an append-only, length-prefixed, CRC-checksummed
+//!   write-ahead log of session lifecycle events and report deltas;
+//! * [`recovery`] — periodic atomic snapshots plus WAL replay: a service
+//!   reopened after a crash reconstructs sessions, open-round tallies,
+//!   refusal counters, and budget positions, and re-closed rounds
+//!   estimate **bit-identically** to an uninterrupted run;
+//! * [`faults`] — the fail-point registry the crash tests use to kill
+//!   the service at chosen points (compiled only under the `faults`
+//!   feature; a no-op in production builds).
 //!
 //! ## Quick example
 //!
 //! ```
 //! use ldp_service::{IngestService, ServiceConfig};
-//! use ldp_fo::{build_oracle, FoKind, Report};
+//! use ldp_fo::{FoKind, Report};
 //! use ldp_ids::protocol::UserResponse;
 //! use std::sync::Arc;
 //!
 //! let service = Arc::new(IngestService::new(ServiceConfig::with_threads(2)));
-//! let session = service.create_session();
-//! let oracle = build_oracle(FoKind::Grr, 8.0, 4).unwrap();
-//! let request = service.open_round(session, 0, FoKind::Grr, 8.0, oracle).unwrap();
+//! let session = service.create_session().unwrap();
+//! let request = service.open_round(session, 0, FoKind::Grr, 8.0, 4).unwrap();
 //! for _ in 0..1000 {
 //!     service
 //!         .submit(session, UserResponse::Report { round: request.round, report: Report::Grr(2) })
@@ -48,17 +56,25 @@
 //! assert_eq!(estimate.reporters, 1000);
 //! assert!(estimate.frequencies[2] > 0.9);
 //! ```
+//!
+//! Swap [`IngestService::new`] for [`IngestService::open`] with a
+//! directory and the same session runs crash-safe.
 
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod faults;
 pub mod parallel;
 pub mod pool;
+pub mod recovery;
 pub mod session;
 pub mod shard;
+pub mod wal;
 
 pub use batch::{Batch, RoundKey, ServiceConfig};
 pub use parallel::{ParallelCollector, ServiceSink};
 pub use pool::WorkerPool;
+pub use recovery::RecoveryReport;
 pub use session::{IngestService, SessionId};
 pub use shard::{ShardAccumulator, ShardTally};
+pub use wal::{Wal, WalRecord, WalScan, WalSync};

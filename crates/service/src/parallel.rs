@@ -36,7 +36,9 @@ pub struct ServiceSink {
 impl ServiceSink {
     /// A sink over a fresh session of `service`.
     pub fn new(service: Arc<IngestService>) -> Self {
-        let session = service.create_session();
+        let session = service
+            .create_session()
+            .expect("session creation only fails when the WAL device does");
         ServiceSink { service, session }
     }
 
@@ -48,7 +50,7 @@ impl ServiceSink {
 
 impl Drop for ServiceSink {
     fn drop(&mut self) {
-        self.service.end_session(self.session);
+        let _ = self.service.end_session(self.session);
     }
 }
 
@@ -60,8 +62,11 @@ impl ReportSink for ServiceSink {
         epsilon: f64,
         oracle: OracleHandle,
     ) -> ReportRequest {
+        // The service rebuilds the oracle from `(fo, epsilon, d)` —
+        // deterministically the same construction as `oracle` — so the
+        // round's parameters are fully described by its WAL record.
         self.service
-            .open_round(self.session, t, fo, epsilon, oracle)
+            .open_round(self.session, t, fo, epsilon, oracle.domain_size())
             .expect("session round lifecycle")
     }
 
@@ -74,7 +79,7 @@ impl ReportSink for ServiceSink {
     }
 
     fn refusals(&self) -> u64 {
-        self.service.refusals(self.session)
+        self.service.refusals(self.session).unwrap_or(0)
     }
 }
 

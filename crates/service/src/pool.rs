@@ -31,6 +31,22 @@ enum WorkerMsg {
         domain_size: usize,
         reply: mpsc::Sender<ShardTally>,
     },
+    /// Reply with a clone of this worker's current tally for each key,
+    /// *without* finishing the rounds (broadcast; snapshot support).
+    /// FIFO queue order makes the reply reflect every batch dispatched
+    /// to this worker before the checkpoint was requested.
+    Checkpoint {
+        keys: Vec<(RoundKey, usize)>,
+        reply: mpsc::Sender<Vec<ShardTally>>,
+    },
+    /// Install a pre-filled accumulator for a recovered round (sent to
+    /// exactly one worker; merging is commutative so one shard may carry
+    /// the entire recovered tally).
+    Seed {
+        key: RoundKey,
+        oracle: ldp_fo::OracleHandle,
+        tally: ShardTally,
+    },
 }
 
 /// A fixed set of shard workers.
@@ -103,6 +119,42 @@ impl WorkerPool {
         }
         merged
     }
+
+    /// Snapshot the in-flight tallies of several open rounds at once:
+    /// every worker replies with its current (cloned) tally per key and
+    /// keeps accumulating. Blocks until all workers reply, so the merged
+    /// result reflects exactly the batches dispatched before this call —
+    /// the consistent cut a durability snapshot needs.
+    pub fn checkpoint(&self, keys: &[(RoundKey, usize)]) -> Vec<ShardTally> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        for tx in &self.senders {
+            tx.send(WorkerMsg::Checkpoint {
+                keys: keys.to_vec(),
+                reply: reply_tx.clone(),
+            })
+            .expect("shard worker alive");
+        }
+        drop(reply_tx);
+        let mut merged: Vec<ShardTally> = keys
+            .iter()
+            .map(|&(_, domain_size)| ShardTally::empty(domain_size))
+            .collect();
+        for _ in 0..self.senders.len() {
+            let tallies = reply_rx.recv().expect("shard worker replies");
+            for (acc, tally) in merged.iter_mut().zip(&tallies) {
+                acc.merge(tally);
+            }
+        }
+        merged
+    }
+
+    /// Install a recovered round's tally on one worker. Subsequent
+    /// batches and the eventual close merge on top of it.
+    pub fn seed(&self, key: RoundKey, oracle: ldp_fo::OracleHandle, tally: ShardTally) {
+        self.senders[0]
+            .send(WorkerMsg::Seed { key, oracle, tally })
+            .expect("shard worker alive");
+    }
 }
 
 impl Drop for WorkerPool {
@@ -141,6 +193,21 @@ fn worker_loop(rx: mpsc::Receiver<WorkerMsg>) {
                 // The session manager may have shut down mid-close;
                 // a dead reply channel is not this worker's problem.
                 let _ = reply.send(tally);
+            }
+            WorkerMsg::Checkpoint { keys, reply } => {
+                let tallies = keys
+                    .iter()
+                    .map(|&(key, domain_size)| {
+                        shards
+                            .get(&key)
+                            .map(|s| s.tally().clone())
+                            .unwrap_or_else(|| ShardTally::empty(domain_size))
+                    })
+                    .collect();
+                let _ = reply.send(tallies);
+            }
+            WorkerMsg::Seed { key, oracle, tally } => {
+                shards.insert(key, ShardAccumulator::with_tally(key, oracle, tally));
             }
         }
     }
@@ -219,6 +286,51 @@ mod tests {
             responses: reports(0, 0, 3),
         });
         assert_eq!(pool.close_round(key(0), 2).reporters, 3);
+    }
+
+    #[test]
+    fn checkpoint_observes_without_consuming() {
+        let pool = WorkerPool::new(3, 2);
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        for _ in 0..6 {
+            pool.dispatch(Batch {
+                key: key(0),
+                oracle: oracle.clone(),
+                responses: reports(0, 2, 50),
+            });
+        }
+        let mid = pool.checkpoint(&[(key(0), 3)]);
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid[0].reporters, 300, "checkpoint sees all prior batches");
+        // The round keeps accumulating and still closes with everything.
+        pool.dispatch(Batch {
+            key: key(0),
+            oracle,
+            responses: reports(0, 2, 10),
+        });
+        assert_eq!(pool.close_round(key(0), 3).reporters, 310);
+    }
+
+    #[test]
+    fn seeded_tally_merges_into_close() {
+        let pool = WorkerPool::new(2, 2);
+        let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
+        let seed = ShardTally {
+            support: vec![40, 2],
+            reporters: 42,
+            refusals: 1,
+            stale: 0,
+        };
+        pool.seed(key(0), oracle.clone(), seed);
+        pool.dispatch(Batch {
+            key: key(0),
+            oracle,
+            responses: reports(0, 0, 8),
+        });
+        let tally = pool.close_round(key(0), 2);
+        assert_eq!(tally.reporters, 50);
+        assert_eq!(tally.refusals, 1);
+        assert_eq!(tally.support.iter().sum::<u64>(), 50);
     }
 
     #[test]

@@ -67,11 +67,30 @@ impl ShardAccumulator {
     /// A fresh shard for `key`, folding through `oracle`.
     pub fn new(key: RoundKey, oracle: OracleHandle) -> Self {
         let d = oracle.domain_size();
-        ShardAccumulator {
-            key,
-            oracle,
-            tally: ShardTally::empty(d),
-        }
+        Self::with_tally(key, oracle, ShardTally::empty(d))
+    }
+
+    /// A shard pre-seeded with `tally` — how recovery re-injects a
+    /// round's replayed support counts into the pool (merging is
+    /// commutative, so seeding one shard with the whole recovered tally
+    /// is exact).
+    pub fn with_tally(key: RoundKey, oracle: OracleHandle, tally: ShardTally) -> Self {
+        assert_eq!(
+            tally.support.len(),
+            oracle.domain_size(),
+            "seed tally domain mismatch"
+        );
+        ShardAccumulator { key, oracle, tally }
+    }
+
+    /// The counts folded so far (used by snapshot checkpoints).
+    pub fn tally(&self) -> &ShardTally {
+        &self.tally
+    }
+
+    /// The round oracle this shard folds through.
+    pub fn oracle(&self) -> &OracleHandle {
+        &self.oracle
     }
 
     /// The round this shard belongs to.

@@ -1,0 +1,809 @@
+//! The write-ahead log: an append-only stream of length-prefixed,
+//! CRC-checksummed frames recording every state transition of an
+//! [`IngestService`](crate::IngestService) *before* it is acknowledged.
+//!
+//! ## File format
+//!
+//! ```text
+//! [ magic "LDPWAL01" : 8 bytes ]
+//! [ frame ]*
+//!
+//! frame := [ payload_len : u32 LE ][ crc32(payload) : u32 LE ][ payload ]
+//! ```
+//!
+//! The payload is one [`WalRecord`] in a fixed little-endian binary
+//! encoding (floats as IEEE-754 bit patterns, so replayed estimates are
+//! bit-identical). A reader stops at the first incomplete or
+//! checksum-failing frame — a torn tail from a crash mid-append loses at
+//! most the record that was never acknowledged, and recovery resumes
+//! from the last complete record with a typed
+//! [`CoreError::Corrupt`] surfaced, never a panic.
+//!
+//! ## Sync levels
+//!
+//! [`WalSync`] picks the fsync discipline: `Always` syncs every frame
+//! before it is acknowledged, `Batch` syncs every
+//! [`SYNC_BATCH_RECORDS`] report frames plus every control frame
+//! (session lifecycle, round close), `None` leaves flushing to the OS.
+
+use crate::faults;
+use ldp_fo::{FoKind, Report};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+use ldp_ids::CoreError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"LDPWAL01";
+
+/// Report frames between fsyncs under [`WalSync::Batch`].
+pub const SYNC_BATCH_RECORDS: u64 = 32;
+
+/// Fsync discipline of the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSync {
+    /// Never fsync explicitly; durability is whatever the OS page cache
+    /// gives. Fastest; a host crash can lose acknowledged reports.
+    None,
+    /// Fsync every [`SYNC_BATCH_RECORDS`] report frames and every
+    /// control frame (session lifecycle, round close). Bounds loss to
+    /// one sync batch of reports; round results are always durable.
+    #[default]
+    Batch,
+    /// Fsync every frame before acknowledging it. Strongest; one
+    /// `fdatasync` per append.
+    Always,
+}
+
+impl WalSync {
+    /// Stable lowercase name (used in bench artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalSync::None => "none",
+            WalSync::Batch => "batch",
+            WalSync::Always => "always",
+        }
+    }
+}
+
+/// One durable state transition.
+///
+/// Everything an [`IngestService`](crate::IngestService) acknowledges is
+/// one of these, logged before the in-memory state mutates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A session was created.
+    CreateSession {
+        /// The new session's raw id.
+        session: u64,
+    },
+    /// A collection round was opened on `session`.
+    OpenRound {
+        /// The owning session's raw id.
+        session: u64,
+        /// The round's report request (oracle parameters included, so
+        /// replay can reconstruct the round oracle deterministically).
+        request: ReportRequest,
+    },
+    /// A batch of responses was accepted into `session`'s open round.
+    Reports {
+        /// The owning session's raw id.
+        session: u64,
+        /// The round the responses belong to.
+        round: u64,
+        /// The session's write-ahead sequence number of this delta —
+        /// replay and client retries deduplicate on it.
+        seq: u64,
+        /// The accepted responses.
+        responses: Vec<UserResponse>,
+    },
+    /// `session`'s open round was closed and estimated.
+    CloseRound {
+        /// The owning session's raw id.
+        session: u64,
+        /// The round that closed.
+        round: u64,
+        /// Refusals tallied in the round.
+        refusals: u64,
+        /// The round estimate (bit-exact: floats travel as IEEE-754
+        /// bits), cached so a client retry of an acknowledged close
+        /// returns the identical result.
+        estimate: RoundEstimate,
+    },
+    /// A session ended.
+    EndSession {
+        /// The ended session's raw id.
+        session: u64,
+    },
+}
+
+impl WalRecord {
+    /// Whether this is a control record (always fsynced under
+    /// [`WalSync::Batch`]).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, WalRecord::Reports { .. })
+    }
+
+    /// Encode into the WAL's binary payload format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            WalRecord::CreateSession { session } => {
+                out.push(1);
+                put_u64(&mut out, *session);
+            }
+            WalRecord::OpenRound { session, request } => {
+                out.push(2);
+                put_u64(&mut out, *session);
+                put_request(&mut out, request);
+            }
+            WalRecord::Reports {
+                session,
+                round,
+                seq,
+                responses,
+            } => {
+                out.push(3);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *round);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, responses.len() as u32);
+                for response in responses {
+                    put_response(&mut out, response);
+                }
+            }
+            WalRecord::CloseRound {
+                session,
+                round,
+                refusals,
+                estimate,
+            } => {
+                out.push(4);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *round);
+                put_u64(&mut out, *refusals);
+                put_estimate(&mut out, estimate);
+            }
+            WalRecord::EndSession { session } => {
+                out.push(5);
+                put_u64(&mut out, *session);
+            }
+        }
+        out
+    }
+
+    /// Decode one payload produced by [`WalRecord::encode`].
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let mut cur = Cursor::new(payload);
+        let record = match cur.u8()? {
+            1 => WalRecord::CreateSession {
+                session: cur.u64()?,
+            },
+            2 => WalRecord::OpenRound {
+                session: cur.u64()?,
+                request: take_request(&mut cur)?,
+            },
+            3 => {
+                let session = cur.u64()?;
+                let round = cur.u64()?;
+                let seq = cur.u64()?;
+                let n = cur.u32()? as usize;
+                if n > payload.len() {
+                    return Err(format!("response count {n} exceeds payload"));
+                }
+                let mut responses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    responses.push(take_response(&mut cur)?);
+                }
+                WalRecord::Reports {
+                    session,
+                    round,
+                    seq,
+                    responses,
+                }
+            }
+            4 => WalRecord::CloseRound {
+                session: cur.u64()?,
+                round: cur.u64()?,
+                refusals: cur.u64()?,
+                estimate: take_estimate(&mut cur)?,
+            },
+            5 => WalRecord::EndSession {
+                session: cur.u64()?,
+            },
+            tag => return Err(format!("unknown record tag {tag}")),
+        };
+        cur.finish()?;
+        Ok(record)
+    }
+}
+
+/// An open, appendable WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    sync: WalSync,
+    records: u64,
+    unsynced_reports: u64,
+}
+
+impl Wal {
+    /// Create a fresh WAL at `path` (truncating any existing file),
+    /// write the magic header and sync it.
+    pub fn create(path: &Path, sync: WalSync) -> Result<Wal, CoreError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| wal_err("create", path, &e))?;
+        file.write_all(WAL_MAGIC)
+            .map_err(|e| wal_err("write header", path, &e))?;
+        file.sync_data()
+            .map_err(|e| wal_err("sync header", path, &e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            sync,
+            records: 0,
+            unsynced_reports: 0,
+        })
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The file this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record, honoring the sync level. Must complete before
+    /// the state transition it describes is applied or acknowledged.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), CoreError> {
+        faults::hit("wal.before_append");
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        if faults::check("wal.torn_append") {
+            // Simulated crash mid-write: half the frame reaches the disk.
+            let _ = self.file.write_all(&frame[..frame.len() / 2]);
+            let _ = self.file.sync_data();
+            faults::crash("wal.torn_append");
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| wal_err("append", &self.path, &e))?;
+        self.records += 1;
+        let sync_now = match self.sync {
+            WalSync::Always => true,
+            WalSync::None => false,
+            WalSync::Batch => {
+                if record.is_control() {
+                    true
+                } else {
+                    self.unsynced_reports += 1;
+                    self.unsynced_reports >= SYNC_BATCH_RECORDS
+                }
+            }
+        };
+        if sync_now {
+            self.sync()?;
+        }
+        faults::hit("wal.after_append");
+        Ok(())
+    }
+
+    /// Force an fsync of everything appended so far.
+    pub fn sync(&mut self) -> Result<(), CoreError> {
+        self.unsynced_reports = 0;
+        self.file
+            .sync_data()
+            .map_err(|e| wal_err("sync", &self.path, &e))
+    }
+}
+
+fn wal_err(op: &str, path: &Path, e: &std::io::Error) -> CoreError {
+    CoreError::Wal {
+        detail: format!("{op} {}: {e}", path.display()),
+    }
+}
+
+/// The outcome of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every complete, checksum-valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic + complete frames).
+    pub valid_len: u64,
+    /// Present when the file ends in a torn or corrupt frame: the typed
+    /// error describing it. Everything before `valid_len` is still good.
+    pub corrupt_tail: Option<CoreError>,
+}
+
+/// Scan a WAL file, tolerating a torn/corrupt tail.
+///
+/// A missing file scans as empty (a crash can land between snapshot
+/// rotation and the creation of the next WAL). A present file with a
+/// wrong magic is a hard [`CoreError::Corrupt`] — that is not our file,
+/// and truncating it would destroy someone's data.
+pub fn scan(path: &Path) -> Result<WalScan, CoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                corrupt_tail: None,
+            })
+        }
+        Err(e) => return Err(wal_err("read", path, &e)),
+    };
+    let file = path.display().to_string();
+    if bytes.len() < WAL_MAGIC.len() {
+        // Crash while writing the header: nothing was ever logged.
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_len: 0,
+            corrupt_tail: Some(CoreError::Corrupt {
+                file,
+                offset: 0,
+                detail: format!("short header ({} bytes)", bytes.len()),
+            }),
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(CoreError::Corrupt {
+            file,
+            offset: 0,
+            detail: "bad magic; not an LDPWAL01 file".into(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    let corrupt_tail = loop {
+        if offset == bytes.len() {
+            break None;
+        }
+        let tail = |detail: String| CoreError::Corrupt {
+            file: file.clone(),
+            offset: offset as u64,
+            detail,
+        };
+        if bytes.len() - offset < 8 {
+            break Some(tail(format!(
+                "torn frame header ({} trailing bytes)",
+                bytes.len() - offset
+            )));
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+        if bytes.len() - offset - 8 < len {
+            break Some(tail(format!(
+                "torn frame payload ({} of {len} bytes present)",
+                bytes.len() - offset - 8
+            )));
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if crc32(payload) != crc {
+            break Some(tail("frame checksum mismatch".into()));
+        }
+        match WalRecord::decode(payload) {
+            Ok(record) => records.push(record),
+            Err(detail) => break Some(tail(format!("undecodable payload: {detail}"))),
+        }
+        offset += 8 + len;
+    };
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        corrupt_tail,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Binary codec primitives (little-endian throughout).
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_fo(out: &mut Vec<u8>, fo: FoKind) {
+    out.push(match fo {
+        FoKind::Grr => 0,
+        FoKind::Oue => 1,
+        FoKind::Olh => 2,
+        FoKind::Adaptive => 3,
+    });
+}
+
+pub(crate) fn put_request(out: &mut Vec<u8>, request: &ReportRequest) {
+    put_u64(out, request.round);
+    put_u64(out, request.t);
+    put_fo(out, request.fo);
+    put_f64(out, request.epsilon);
+    put_u32(out, request.domain_size as u32);
+}
+
+fn put_report(out: &mut Vec<u8>, report: &Report) {
+    match report {
+        Report::Grr(v) => {
+            out.push(0);
+            put_u32(out, *v);
+        }
+        Report::Oue { bits, len } => {
+            out.push(1);
+            put_u32(out, *len);
+            put_u32(out, bits.len() as u32);
+            for word in bits {
+                put_u64(out, *word);
+            }
+        }
+        Report::Olh { seed, bucket } => {
+            out.push(2);
+            put_u64(out, *seed);
+            put_u32(out, *bucket);
+        }
+    }
+}
+
+pub(crate) fn put_response(out: &mut Vec<u8>, response: &UserResponse) {
+    match response {
+        UserResponse::Report { round, report } => {
+            out.push(0);
+            put_u64(out, *round);
+            put_report(out, report);
+        }
+        UserResponse::Refused {
+            round,
+            requested,
+            available,
+        } => {
+            out.push(1);
+            put_u64(out, *round);
+            put_f64(out, *requested);
+            put_f64(out, *available);
+        }
+    }
+}
+
+pub(crate) fn put_estimate(out: &mut Vec<u8>, estimate: &RoundEstimate) {
+    put_u64(out, estimate.reporters);
+    put_f64(out, estimate.epsilon);
+    put_u32(out, estimate.frequencies.len() as u32);
+    for f in &estimate.frequencies {
+        put_f64(out, *f);
+    }
+}
+
+/// A bounds-checked little-endian reader over a payload.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err(format!(
+                "payload truncated: needed {n} bytes at offset {}, {} left",
+                self.at,
+                self.bytes.len() - self.at
+            ));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), String> {
+        if self.at != self.bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after record",
+                self.bytes.len() - self.at
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn take_fo(cur: &mut Cursor<'_>) -> Result<FoKind, String> {
+    match cur.u8()? {
+        0 => Ok(FoKind::Grr),
+        1 => Ok(FoKind::Oue),
+        2 => Ok(FoKind::Olh),
+        3 => Ok(FoKind::Adaptive),
+        tag => Err(format!("unknown oracle tag {tag}")),
+    }
+}
+
+pub(crate) fn take_request(cur: &mut Cursor<'_>) -> Result<ReportRequest, String> {
+    Ok(ReportRequest {
+        round: cur.u64()?,
+        t: cur.u64()?,
+        fo: take_fo(cur)?,
+        epsilon: cur.f64()?,
+        domain_size: cur.u32()? as usize,
+    })
+}
+
+fn take_report(cur: &mut Cursor<'_>) -> Result<Report, String> {
+    match cur.u8()? {
+        0 => Ok(Report::Grr(cur.u32()?)),
+        1 => {
+            let len = cur.u32()?;
+            let words = cur.u32()? as usize;
+            if words > len as usize / 64 + 1 {
+                return Err(format!(
+                    "OUE word count {words} inconsistent with len {len}"
+                ));
+            }
+            let mut bits = Vec::with_capacity(words);
+            for _ in 0..words {
+                bits.push(cur.u64()?);
+            }
+            Ok(Report::Oue { bits, len })
+        }
+        2 => Ok(Report::Olh {
+            seed: cur.u64()?,
+            bucket: cur.u32()?,
+        }),
+        tag => Err(format!("unknown report tag {tag}")),
+    }
+}
+
+pub(crate) fn take_response(cur: &mut Cursor<'_>) -> Result<UserResponse, String> {
+    match cur.u8()? {
+        0 => Ok(UserResponse::Report {
+            round: cur.u64()?,
+            report: take_report(cur)?,
+        }),
+        1 => Ok(UserResponse::Refused {
+            round: cur.u64()?,
+            requested: cur.f64()?,
+            available: cur.f64()?,
+        }),
+        tag => Err(format!("unknown response tag {tag}")),
+    }
+}
+
+pub(crate) fn take_estimate(cur: &mut Cursor<'_>) -> Result<RoundEstimate, String> {
+    let reporters = cur.u64()?;
+    let epsilon = cur.f64()?;
+    let n = cur.u32()? as usize;
+    let mut frequencies = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        frequencies.push(cur.f64()?);
+    }
+    Ok(RoundEstimate {
+        frequencies,
+        reporters,
+        epsilon,
+    })
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ldp_wal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateSession { session: 0 },
+            WalRecord::OpenRound {
+                session: 0,
+                request: ReportRequest {
+                    round: 0,
+                    t: 7,
+                    fo: FoKind::Oue,
+                    epsilon: 1.25,
+                    domain_size: 70,
+                },
+            },
+            WalRecord::Reports {
+                session: 0,
+                round: 0,
+                seq: 0,
+                responses: vec![
+                    UserResponse::Report {
+                        round: 0,
+                        report: Report::Oue {
+                            bits: vec![0xDEAD_BEEF, 0x1234],
+                            len: 70,
+                        },
+                    },
+                    UserResponse::Report {
+                        round: 0,
+                        report: Report::Olh {
+                            seed: 99,
+                            bucket: 3,
+                        },
+                    },
+                    UserResponse::Refused {
+                        round: 0,
+                        requested: 0.5,
+                        available: 0.25,
+                    },
+                ],
+            },
+            WalRecord::CloseRound {
+                session: 0,
+                round: 0,
+                refusals: 1,
+                estimate: RoundEstimate {
+                    frequencies: vec![0.1, -0.000001, 0.9],
+                    reporters: 2,
+                    epsilon: 1.25,
+                },
+            },
+            WalRecord::EndSession { session: 0 },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip_through_codec() {
+        for record in sample_records() {
+            let payload = record.encode();
+            assert_eq!(WalRecord::decode(&payload).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips() {
+        let path = tmp("roundtrip.log");
+        let mut wal = Wal::create(&path, WalSync::Always).unwrap();
+        let records = sample_records();
+        for record in &records {
+            wal.append(record).unwrap();
+        }
+        assert_eq!(wal.records(), records.len() as u64);
+        drop(wal);
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.records, records);
+        assert!(scan.corrupt_tail.is_none());
+        assert_eq!(scan.valid_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_record() {
+        let path = tmp("torn.log");
+        let mut wal = Wal::create(&path, WalSync::None).unwrap();
+        let records = sample_records();
+        for record in &records {
+            wal.append(record).unwrap();
+        }
+        drop(wal);
+        // Tear the last frame: chop 3 bytes off the file.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.records, records[..records.len() - 1]);
+        assert!(
+            matches!(scan.corrupt_tail, Some(CoreError::Corrupt { .. })),
+            "{:?}",
+            scan.corrupt_tail
+        );
+    }
+
+    #[test]
+    fn bitflip_recovers_with_checksum_error() {
+        let path = tmp("bitflip.log");
+        let mut wal = Wal::create(&path, WalSync::None).unwrap();
+        let records = sample_records();
+        for record in &records {
+            wal.append(record).unwrap();
+        }
+        drop(wal);
+        // Flip one payload byte in the final frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.records, records[..records.len() - 1]);
+        match scan.corrupt_tail {
+            Some(CoreError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "{detail}")
+            }
+            other => panic!("expected checksum corrupt tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let scan = scan(&tmp("never_created.log")).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.corrupt_tail.is_none());
+    }
+
+    #[test]
+    fn foreign_file_is_a_hard_error() {
+        let path = tmp("foreign.log");
+        std::fs::write(&path, b"definitely not a wal file").unwrap();
+        assert!(matches!(
+            scan(&path),
+            Err(CoreError::Corrupt { offset: 0, .. })
+        ));
+    }
+}

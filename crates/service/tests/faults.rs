@@ -1,0 +1,313 @@
+//! The crash matrix: kill the service at every instrumented point, in
+//! the middle of a scripted multi-round ingest, then restart and resume
+//! like a real client would — and require the estimates of every round
+//! to be **bit-identical** to an uninterrupted run, at 1, 2, and 8
+//! shards.
+//!
+//! Run with `cargo test -p ldp_service --features faults`.
+//!
+//! A "crash" is a panic with a [`FaultCrash`] payload thrown from inside
+//! the service (see [`ldp_service::faults`]); the driver catches it,
+//! drops the half-dead service (worker threads and all), reopens the
+//! durability directory, and **retries the failed step** through the
+//! sequence-numbered idempotent API — exactly the protocol a real
+//! client with a lost ack follows.
+
+#![cfg(feature = "faults")]
+
+use ldp_fo::{FoKind, Report};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::UserResponse;
+use ldp_service::faults::{self, FaultCrash};
+use ldp_service::{IngestService, ServiceConfig, SessionId, WalSync};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const DOMAIN: usize = 4;
+const EPSILON: f64 = 1.0;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp_faults_it_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One client-visible step of the scripted workload.
+#[derive(Debug, Clone)]
+enum Step {
+    Create,
+    Open {
+        round: u64,
+        t: u64,
+    },
+    Chunk {
+        seq: u64,
+        responses: Vec<UserResponse>,
+    },
+    Close {
+        round: u64,
+    },
+}
+
+/// Deterministic mixed responses for `round` (reports + refusals).
+fn chunk(round: u64, offset: usize, n: usize) -> Vec<UserResponse> {
+    (offset..offset + n)
+        .map(|i| {
+            if i % 11 == 10 {
+                UserResponse::Refused {
+                    round,
+                    requested: 1.0,
+                    available: 0.0,
+                }
+            } else {
+                UserResponse::Report {
+                    round,
+                    report: Report::Grr((i as u32 * 7 + round as u32) % DOMAIN as u32),
+                }
+            }
+        })
+        .collect()
+}
+
+/// The workload every matrix cell runs: two rounds, five report deltas,
+/// two closes — 10 WAL records, enough to land any kill point on every
+/// record class.
+fn script() -> Vec<Step> {
+    vec![
+        Step::Create,
+        Step::Open { round: 0, t: 0 },
+        Step::Chunk {
+            seq: 0,
+            responses: chunk(0, 0, 50),
+        },
+        Step::Chunk {
+            seq: 1,
+            responses: chunk(0, 50, 64),
+        },
+        Step::Chunk {
+            seq: 2,
+            responses: chunk(0, 114, 37),
+        },
+        Step::Close { round: 0 },
+        Step::Open { round: 1, t: 1 },
+        Step::Chunk {
+            seq: 3,
+            responses: chunk(1, 0, 30),
+        },
+        Step::Chunk {
+            seq: 4,
+            responses: chunk(1, 30, 45),
+        },
+        Step::Close { round: 1 },
+    ]
+}
+
+/// Apply one step, returning the estimate for closes. Idempotent under
+/// retry: `Create` probes whether the session already exists, the other
+/// steps go through the sequence-numbered `*_at` API.
+fn apply_step(svc: &IngestService, step: &Step) -> Option<RoundEstimate> {
+    let session = SessionId::from_raw(0);
+    match step {
+        Step::Create => {
+            if svc.refusals(session).is_err() {
+                let id = svc.create_session().expect("create session");
+                assert_eq!(id, session, "scripts run on a fresh directory");
+            }
+            None
+        }
+        Step::Open { round, t } => {
+            svc.open_round_at(session, *round, *t, FoKind::Grr, EPSILON, DOMAIN)
+                .expect("open round");
+            None
+        }
+        Step::Chunk { seq, responses } => {
+            svc.submit_batch_at(session, *seq, responses.clone())
+                .expect("submit delta");
+            None
+        }
+        Step::Close { round } => Some(svc.close_round_at(session, *round).expect("close round")),
+    }
+}
+
+/// Run the script against a durable service in `dir`, with `arm`
+/// optionally set to a kill point + 1-based hit count. On the simulated
+/// crash: drop the service, reopen the directory, retry the failed
+/// step. Returns the close estimates and whether a crash fired.
+fn run_script(
+    dir: &Path,
+    config: ServiceConfig,
+    arm: Option<(&'static str, u64)>,
+) -> (Vec<RoundEstimate>, bool) {
+    faults::reset();
+    let mut svc = IngestService::open(config, dir).expect("open durable service");
+    if let Some((point, nth)) = arm {
+        faults::arm(point, nth);
+    }
+    let steps = script();
+    let mut estimates = Vec::new();
+    let mut crashed = false;
+    let mut i = 0;
+    while i < steps.len() {
+        match catch_unwind(AssertUnwindSafe(|| apply_step(&svc, &steps[i]))) {
+            Ok(done) => {
+                estimates.extend(done);
+                i += 1;
+            }
+            Err(payload) => {
+                let crash = payload
+                    .downcast_ref::<FaultCrash>()
+                    .unwrap_or_else(|| panic!("non-fault panic at step {i}: {:?}", steps[i]));
+                assert!(!crashed, "one crash per run: second at {}", crash.point);
+                crashed = true;
+                // The "restart": disarm, drop the dead service, reopen
+                // the directory, and retry the very step that failed.
+                faults::reset();
+                drop(svc);
+                svc = IngestService::open(config, dir).expect("reopen after crash");
+            }
+        }
+    }
+    faults::reset();
+    (estimates, crashed)
+}
+
+fn assert_bit_identical(a: &RoundEstimate, b: &RoundEstimate, what: &str) {
+    assert_eq!(a.reporters, b.reporters, "{what}: reporters differ");
+    let abits: Vec<u64> = a.frequencies.iter().map(|f| f.to_bits()).collect();
+    let bbits: Vec<u64> = b.frequencies.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(abits, bbits, "{what}: frequencies differ");
+}
+
+fn config(shards: usize) -> ServiceConfig {
+    ServiceConfig::with_threads(shards)
+        .with_batch_size(16)
+        // Small cadence so the script crosses snapshot rotations, and
+        // every-frame fsync so kill points sit at durable boundaries.
+        .with_snapshot_every(4)
+        .with_sync(WalSync::Always)
+}
+
+/// The full matrix: every kill point × several hit positions × every
+/// pinned shard count. Each cell must (a) actually fire, (b) recover,
+/// and (c) finish with estimates bit-identical to the uninterrupted
+/// reference.
+#[test]
+fn every_kill_point_recovers_bit_identically() {
+    let _gate = faults::serialize_tests();
+
+    // Hit positions chosen per point so each lands on a different record
+    // class of the 10-record script (create/open/delta/close).
+    let cells: &[(&'static str, &[u64])] = &[
+        ("wal.before_append", &[1, 3, 6, 10]),
+        ("wal.after_append", &[1, 3, 6, 10]),
+        ("wal.torn_append", &[3, 6]),
+        ("service.mid_batch", &[1, 3, 5]),
+        ("service.before_close", &[1, 2]),
+        ("service.after_close", &[1, 2]),
+        ("snapshot.before_rename", &[1, 2]),
+        ("snapshot.after_rename", &[1, 2]),
+    ];
+
+    for shards in SHARD_COUNTS {
+        let cfg = config(shards);
+
+        let ref_dir = tmp_dir(&format!("ref_{shards}"));
+        let (reference, crashed) = run_script(&ref_dir, cfg, None);
+        assert!(!crashed);
+        assert_eq!(reference.len(), 2, "script closes two rounds");
+        let _ = std::fs::remove_dir_all(&ref_dir);
+
+        for (point, nths) in cells {
+            for &nth in *nths {
+                let dir = tmp_dir(&format!("{}_{nth}_{shards}", point.replace('.', "_")));
+                let (estimates, crashed) = run_script(&dir, cfg, Some((point, nth)));
+                assert!(crashed, "{point} hit {nth} never fired at {shards} shards");
+                assert_eq!(estimates.len(), reference.len());
+                for (round, (got, want)) in estimates.iter().zip(&reference).enumerate() {
+                    assert_bit_identical(
+                        got,
+                        want,
+                        &format!("{point} hit {nth}, round {round}, {shards} shards"),
+                    );
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// A torn append leaves a half-written frame on disk; the reopened
+/// service must report the corrupt tail as a typed error and recover to
+/// the last complete record.
+#[test]
+fn torn_append_surfaces_a_typed_corrupt_tail() {
+    let _gate = faults::serialize_tests();
+    faults::reset();
+    let dir = tmp_dir("torn_report");
+    let cfg = ServiceConfig::with_threads(2)
+        .with_batch_size(16)
+        .with_snapshot_every(0) // no rotation: the torn tail must survive to reopen
+        .with_sync(WalSync::Always);
+
+    let svc = IngestService::open(cfg, &dir).unwrap();
+    let session = svc.create_session().unwrap();
+    svc.open_round_at(session, 0, 0, FoKind::Grr, EPSILON, DOMAIN)
+        .unwrap();
+    svc.submit_batch_at(session, 0, chunk(0, 0, 20)).unwrap();
+    faults::arm("wal.torn_append", 1);
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        svc.submit_batch_at(session, 1, chunk(0, 20, 20))
+    }))
+    .unwrap_err();
+    assert!(crash.downcast_ref::<FaultCrash>().is_some());
+    faults::reset();
+    drop(svc);
+
+    let svc = IngestService::open(cfg, &dir).unwrap();
+    let report = svc.recovery_report().unwrap();
+    assert!(
+        report.corrupt_tail.is_some(),
+        "half-written frame must be reported: {report:?}"
+    );
+    // The torn delta was never acknowledged; the client retries it with
+    // the same sequence number and the round finishes exactly.
+    svc.submit_batch_at(session, 1, chunk(0, 20, 20)).unwrap();
+    let estimate = svc.close_round_at(session, 0).unwrap();
+    assert_eq!(estimate.reporters, 37); // 40 responses minus 3 refusals
+    assert_eq!(svc.refusals(session).unwrap(), 3);
+    faults::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crashing between WAL append and tally dispatch must not lose or
+/// double-count the delta: the WAL already owns it, so the retry is
+/// acknowledged as a duplicate.
+#[test]
+fn mid_batch_crash_neither_loses_nor_doubles_the_delta() {
+    let _gate = faults::serialize_tests();
+    faults::reset();
+    let dir = tmp_dir("mid_batch_exact");
+    let cfg = config(2);
+
+    let svc = IngestService::open(cfg, &dir).unwrap();
+    let session = svc.create_session().unwrap();
+    svc.open_round_at(session, 0, 0, FoKind::Grr, EPSILON, DOMAIN)
+        .unwrap();
+    faults::arm("service.mid_batch", 1);
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        svc.submit_batch_at(session, 0, chunk(0, 0, 33))
+    }))
+    .unwrap_err();
+    assert!(crash.downcast_ref::<FaultCrash>().is_some());
+    faults::reset();
+    drop(svc);
+
+    let svc = IngestService::open(cfg, &dir).unwrap();
+    // Retry of the unacknowledged delta: already on the WAL → no-op ack.
+    svc.submit_batch_at(session, 0, chunk(0, 0, 33)).unwrap();
+    let estimate = svc.close_round_at(session, 0).unwrap();
+    assert_eq!(estimate.reporters, 30, "33 responses minus 3 refusals");
+    faults::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}

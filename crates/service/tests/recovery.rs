@@ -1,0 +1,249 @@
+//! Durable-service restarts without fault injection: a service dropped
+//! mid-round (or cleanly) and reopened on the same directory must carry
+//! on as if the interruption never happened — estimates bit-identical,
+//! counters intact, WAL bounded by snapshot rotation, torn tails
+//! tolerated.
+
+use ldp_fo::{FoKind, Report};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::UserResponse;
+use ldp_service::{IngestService, ServiceConfig, SessionId, WalSync};
+use std::path::PathBuf;
+
+/// Shard counts the acceptance spec pins: degenerate, small, and wide.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldp_recovery_it_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic mixed response stream (reports + the odd refusal).
+fn responses(round: u64, n: usize, domain: u32) -> Vec<UserResponse> {
+    (0..n)
+        .map(|i| {
+            if i % 11 == 10 {
+                UserResponse::Refused {
+                    round,
+                    requested: 1.0,
+                    available: 0.0,
+                }
+            } else {
+                UserResponse::Report {
+                    round,
+                    report: Report::Grr((i as u32 * 7 + 3) % domain),
+                }
+            }
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &RoundEstimate, b: &RoundEstimate, what: &str) {
+    assert_eq!(a.reporters, b.reporters, "{what}: reporters differ");
+    let abits: Vec<u64> = a.frequencies.iter().map(|f| f.to_bits()).collect();
+    let bbits: Vec<u64> = b.frequencies.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(abits, bbits, "{what}: frequencies differ");
+}
+
+#[test]
+fn restart_mid_round_is_bit_identical_at_every_shard_count() {
+    let all = responses(0, 150, 4);
+    for shards in SHARD_COUNTS {
+        let config = ServiceConfig::with_threads(shards)
+            .with_batch_size(16)
+            .with_snapshot_every(8);
+
+        // Uninterrupted reference: same responses through an in-memory
+        // service of the same shape.
+        let reference_svc = IngestService::new(config);
+        let session = reference_svc.create_session().unwrap();
+        reference_svc
+            .open_round(session, 0, FoKind::Grr, 1.0, 4)
+            .unwrap();
+        reference_svc.submit_batch(session, all.clone()).unwrap();
+        let reference = reference_svc.close_round(session).unwrap();
+
+        // Interrupted run: drop the service mid-round, reopen, finish.
+        let dir = tmp_dir(&format!("mid_round_{shards}"));
+        let svc = IngestService::open(config, &dir).unwrap();
+        let session = svc.create_session().unwrap();
+        svc.open_round(session, 0, FoKind::Grr, 1.0, 4).unwrap();
+        svc.submit_batch(session, all[..100].to_vec()).unwrap();
+        drop(svc); // the "crash": no close, no clean shutdown record
+
+        let svc = IngestService::open(config, &dir).unwrap();
+        let report = svc.recovery_report().expect("durable service");
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.open_rounds, 1);
+        assert!(report.corrupt_tail.is_none());
+        svc.submit_batch(session, all[100..].to_vec()).unwrap();
+        let recovered = svc.close_round(session).unwrap();
+
+        assert_bit_identical(
+            &recovered,
+            &reference,
+            &format!("recovered round at {shards} shards"),
+        );
+        assert_eq!(
+            svc.refusals(session).unwrap(),
+            reference_svc.refusals(session).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn clean_restart_preserves_closed_round_state() {
+    let dir = tmp_dir("clean_restart");
+    let config = ServiceConfig::with_threads(2).with_batch_size(8);
+    let svc = IngestService::open(config, &dir).unwrap();
+    let session = svc.create_session().unwrap();
+    svc.open_round(session, 0, FoKind::Grr, 0.75, 3).unwrap();
+    svc.submit_batch(session, responses(0, 60, 3)).unwrap();
+    let estimate = svc.close_round(session).unwrap();
+    let refusals = svc.refusals(session).unwrap();
+    drop(svc);
+
+    let svc = IngestService::open(config, &dir).unwrap();
+    assert_eq!(svc.refusals(session).unwrap(), refusals);
+    assert_eq!(svc.epsilon_spent(session).unwrap(), 0.75);
+    // A client whose close ack was lost re-closes and gets the original
+    // estimate back bit for bit.
+    let replayed = svc.close_round_at(session, 0).unwrap();
+    assert_bit_identical(&replayed, &estimate, "replayed close after restart");
+    // The session continues where it left off.
+    let req = svc.open_round(session, 1, FoKind::Grr, 0.25, 3).unwrap();
+    assert_eq!(req.round, 1);
+    svc.close_round(session).unwrap();
+    assert_eq!(svc.epsilon_spent(session).unwrap(), 1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_rotation_keeps_one_generation_and_bounds_replay() {
+    let dir = tmp_dir("rotation");
+    let config = ServiceConfig::with_threads(1)
+        .with_batch_size(8)
+        .with_snapshot_every(4);
+    let svc = IngestService::open(config, &dir).unwrap();
+    let session = svc.create_session().unwrap();
+    for round in 0..6 {
+        svc.open_round(session, round, FoKind::Grr, 0.1, 2).unwrap();
+        svc.submit_batch(session, responses(round, 20, 2)).unwrap();
+        svc.close_round(session).unwrap();
+    }
+    drop(svc);
+
+    // Rotation deletes old generations: exactly one snapshot + one WAL.
+    let mut snaps = 0;
+    let mut wals = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.starts_with("snap-") {
+            snaps += 1;
+        } else if name.starts_with("wal-") {
+            wals += 1;
+        } else {
+            panic!("unexpected file {name} in durability dir");
+        }
+    }
+    assert_eq!((snaps, wals), (1, 1));
+
+    let svc = IngestService::open(config, &dir).unwrap();
+    let report = svc.recovery_report().unwrap();
+    assert!(
+        report.wal_records_replayed <= 4,
+        "snapshot cadence bounds replay, got {}",
+        report.wal_records_replayed
+    );
+    assert_eq!(svc.refusals(session).unwrap(), 6); // one refusal per round of 20
+    let req = svc.open_round(session, 9, FoKind::Grr, 0.1, 2).unwrap();
+    assert_eq!(req.round, 6, "round counter survived six closed rounds");
+    svc.close_round(session).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_last_complete_record() {
+    let dir = tmp_dir("torn_tail");
+    let config = ServiceConfig::with_threads(2)
+        .with_batch_size(64)
+        .with_sync(WalSync::Always);
+    let svc = IngestService::open(config, &dir).unwrap();
+    let session = svc.create_session().unwrap();
+    svc.open_round(session, 0, FoKind::Grr, 1.0, 4).unwrap();
+    svc.submit_batch(session, responses(0, 40, 4)).unwrap();
+    drop(svc);
+
+    // Simulate a crash mid-write: garbage bytes after the last frame.
+    let wal = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .expect("a WAL file");
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    drop(f);
+
+    let svc = IngestService::open(config, &dir).unwrap();
+    let report = svc.recovery_report().unwrap();
+    // The torn tail is surfaced as a typed error, not a panic, and the
+    // state up to the last complete record is intact.
+    assert!(
+        report.corrupt_tail.is_some(),
+        "torn tail should be reported: {report:?}"
+    );
+    let estimate = svc.close_round(session).unwrap();
+    assert_eq!(estimate.reporters, 37); // 40 minus 3 refusals (i%11==10)
+    assert_eq!(svc.refusals(session).unwrap(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_sync_level_round_trips_a_restart() {
+    for (i, sync) in [WalSync::None, WalSync::Batch, WalSync::Always]
+        .into_iter()
+        .enumerate()
+    {
+        let dir = tmp_dir(&format!("sync_{i}"));
+        let config = ServiceConfig::with_threads(1)
+            .with_batch_size(4)
+            .with_sync(sync);
+        let svc = IngestService::open(config, &dir).unwrap();
+        let session = svc.create_session().unwrap();
+        svc.open_round(session, 0, FoKind::Grr, 1.0, 2).unwrap();
+        svc.submit_batch(session, responses(0, 15, 2)).unwrap();
+        drop(svc);
+
+        let svc = IngestService::open(config, &dir).unwrap();
+        let estimate = svc.close_round(session).unwrap();
+        assert_eq!(estimate.reporters, 14, "sync level {}", sync.name());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sessions_created_after_recovery_get_fresh_ids() {
+    let dir = tmp_dir("fresh_ids");
+    let config = ServiceConfig::with_threads(1);
+    let svc = IngestService::open(config, &dir).unwrap();
+    let a = svc.create_session().unwrap();
+    let b = svc.create_session().unwrap();
+    svc.end_session(b).unwrap();
+    drop(svc);
+
+    let svc = IngestService::open(config, &dir).unwrap();
+    assert_eq!(svc.recovery_report().unwrap().sessions, 1);
+    // The ended session stays unknown; the id counter does not reuse ids.
+    assert!(svc.refusals(b).is_err());
+    let c = svc.create_session().unwrap();
+    assert_eq!(c, SessionId::from_raw(2));
+    assert!(svc.refusals(a).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,324 @@
+//! Session-lifecycle sequencing properties of the `IngestService`:
+//! arbitrary interleavings of `create_session` / `open_round` / `submit`
+//! / `submit_batch` / `close_round` / `end_session` — including calls on
+//! ended sessions, stale rounds, and out-of-order sequence numbers —
+//! never panic and always yield the documented typed errors. The same
+//! interleaving is driven against an in-memory and a durable service in
+//! lockstep, which must agree on every outcome.
+
+use ldp_fo::{FoKind, Report};
+use ldp_ids::protocol::UserResponse;
+use ldp_ids::CoreError;
+use ldp_service::{IngestService, ServiceConfig, SessionId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const DOMAIN: usize = 3;
+
+/// One lifecycle call, with enough slack in its parameters to generate
+/// both valid and invalid sequencing.
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Open,
+    /// Submit one response whose round id is the open round shifted by
+    /// `round_skew` (0 = valid, anything else = stale).
+    Submit {
+        round_skew: u64,
+        refuse: bool,
+    },
+    /// Submit a delta of `n` responses at the session's expected
+    /// sequence number shifted by `seq_skew` (0 = valid, negative space
+    /// is modelled by re-sending earlier numbers).
+    SubmitBatch {
+        n: usize,
+        seq_skew: i64,
+    },
+    Close,
+    End,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Create),
+        4 => Just(Op::Open),
+        6 => (0u64..3, any::<bool>()).prop_map(|(round_skew, refuse)| Op::Submit {
+            round_skew,
+            refuse
+        }),
+        4 => (1usize..40, -2i64..3).prop_map(|(n, seq_skew)| Op::SubmitBatch { n, seq_skew }),
+        4 => Just(Op::Close),
+        2 => Just(Op::End),
+    ]
+}
+
+fn response(round: u64, i: usize, refuse: bool) -> UserResponse {
+    if refuse {
+        UserResponse::Refused {
+            round,
+            requested: 1.0,
+            available: 0.0,
+        }
+    } else {
+        UserResponse::Report {
+            round,
+            report: Report::Grr((i as u32 * 5 + 1) % DOMAIN as u32),
+        }
+    }
+}
+
+/// The flat outcome of one call, comparable across service flavours.
+#[derive(Debug, Clone, PartialEq)]
+enum Outcome {
+    Ok,
+    OkEstimate(Vec<u64>, u64),
+    Err(CoreError),
+}
+
+fn durable_dir() -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ldp_lifecycle_prop_{}_{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drive `ops` against `svc`, asserting each call's result against a
+/// tiny reference model of the session lifecycle, and return the flat
+/// outcome trace.
+fn drive(svc: &IngestService, ops: &[Op]) -> Vec<Outcome> {
+    let mut outcomes = Vec::with_capacity(ops.len());
+    // The model: which session is current, whether it still exists,
+    // which round is open, and the next round/sequence numbers.
+    let mut session = svc.create_session().expect("initial session");
+    let mut alive = true;
+    let mut open: Option<u64> = None;
+    let mut next_round: u64 = 0;
+    let mut next_seq: u64 = 0;
+    let mut submitted: usize = 0;
+
+    for op in ops {
+        let outcome = match op {
+            Op::Create => {
+                let id = svc.create_session().expect("create never fails in-process");
+                session = id;
+                alive = true;
+                open = None;
+                next_round = 0;
+                next_seq = 0;
+                Outcome::Ok
+            }
+            Op::Open => {
+                let result = svc.open_round(session, 0, FoKind::Grr, 1.0, DOMAIN);
+                match (alive, open) {
+                    (false, _) => Outcome::Err(result.expect_err("ended session must error")),
+                    (true, Some(round)) => {
+                        let err = result.expect_err("double open must error");
+                        assert_eq!(
+                            err,
+                            CoreError::SessionBusy {
+                                session: session.raw(),
+                                round
+                            }
+                        );
+                        Outcome::Err(err)
+                    }
+                    (true, None) => {
+                        let request = result.expect("valid open");
+                        assert_eq!(request.round, next_round);
+                        open = Some(next_round);
+                        next_round += 1;
+                        Outcome::Ok
+                    }
+                }
+            }
+            Op::Submit { round_skew, refuse } => {
+                let round = open.unwrap_or(0) + round_skew;
+                let result = svc.submit(session, response(round, submitted, *refuse));
+                match (alive, open) {
+                    (false, _) => Outcome::Err(result.expect_err("ended session must error")),
+                    (true, None) => {
+                        let err = result.expect_err("no open round must error");
+                        assert_eq!(err, CoreError::NoOpenRound);
+                        Outcome::Err(err)
+                    }
+                    (true, Some(expected)) if round != expected => {
+                        let err = result.expect_err("stale round must error");
+                        assert_eq!(
+                            err,
+                            CoreError::StaleRound {
+                                expected,
+                                got: round
+                            }
+                        );
+                        Outcome::Err(err)
+                    }
+                    (true, Some(_)) => {
+                        result.expect("valid submit");
+                        next_seq += 1;
+                        submitted += 1;
+                        Outcome::Ok
+                    }
+                }
+            }
+            Op::SubmitBatch { n, seq_skew } => {
+                let seq = next_seq.saturating_add_signed(*seq_skew);
+                let round = open.unwrap_or(0);
+                let responses: Vec<UserResponse> =
+                    (0..*n).map(|i| response(round, i, false)).collect();
+                let result = svc.submit_batch_at(session, seq, responses);
+                match (alive, open) {
+                    (false, _) => Outcome::Err(result.expect_err("ended session must error")),
+                    _ if seq < next_seq => {
+                        // Replay of an already-acknowledged delta: no-op.
+                        result.expect("duplicate delta is acknowledged");
+                        Outcome::Ok
+                    }
+                    _ if seq > next_seq => {
+                        let err = result.expect_err("future delta must error");
+                        assert_eq!(
+                            err,
+                            CoreError::SequenceGap {
+                                expected: next_seq,
+                                got: seq
+                            }
+                        );
+                        Outcome::Err(err)
+                    }
+                    (true, None) => {
+                        let err = result.expect_err("no open round must error");
+                        assert_eq!(err, CoreError::NoOpenRound);
+                        Outcome::Err(err)
+                    }
+                    (true, Some(_)) => {
+                        result.expect("valid delta");
+                        next_seq += 1;
+                        submitted += n;
+                        Outcome::Ok
+                    }
+                }
+            }
+            Op::Close => {
+                let result = svc.close_round(session);
+                match (alive, open) {
+                    (false, _) => Outcome::Err(result.expect_err("ended session must error")),
+                    (true, None) => {
+                        let err = result.expect_err("no open round must error");
+                        assert_eq!(err, CoreError::NoOpenRound);
+                        Outcome::Err(err)
+                    }
+                    (true, Some(_)) => {
+                        let estimate = result.expect("valid close");
+                        open = None;
+                        Outcome::OkEstimate(
+                            estimate.frequencies.iter().map(|f| f.to_bits()).collect(),
+                            estimate.reporters,
+                        )
+                    }
+                }
+            }
+            Op::End => {
+                let result = svc.end_session(session);
+                match (alive, open) {
+                    (false, _) => Outcome::Err(result.expect_err("ended session must error")),
+                    (true, Some(round)) => {
+                        let err = result.expect_err("busy session must error");
+                        assert_eq!(
+                            err,
+                            CoreError::SessionBusy {
+                                session: session.raw(),
+                                round
+                            }
+                        );
+                        Outcome::Err(err)
+                    }
+                    (true, None) => {
+                        result.expect("valid end");
+                        alive = false;
+                        Outcome::Ok
+                    }
+                }
+            }
+        };
+        // Every error must be one of the documented lifecycle errors —
+        // never a panic, never an unrelated variant.
+        if let Outcome::Err(err) = &outcome {
+            assert!(
+                matches!(
+                    err,
+                    CoreError::UnknownSession { .. }
+                        | CoreError::SessionBusy { .. }
+                        | CoreError::NoOpenRound
+                        | CoreError::StaleRound { .. }
+                        | CoreError::SequenceGap { .. }
+                ),
+                "undocumented lifecycle error: {err:?}"
+            );
+        }
+        outcomes.push(outcome);
+    }
+    // Leave no round open so worker shutdown is clean.
+    if alive && open.is_some() {
+        svc.close_round(session).expect("drain open round");
+    }
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving yields typed errors (no panic), and the durable
+    /// service agrees with the in-memory one on every single outcome —
+    /// including estimate bits.
+    #[test]
+    fn lifecycle_interleavings_never_panic_and_flavours_agree(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+        shards in 1usize..=4,
+        batch_size in 1usize..=24,
+    ) {
+        let config = ServiceConfig::with_threads(shards)
+            .with_batch_size(batch_size)
+            .with_snapshot_every(7);
+
+        let in_memory = IngestService::new(config);
+        let memory_trace = drive(&in_memory, &ops);
+
+        let dir = durable_dir();
+        let durable = IngestService::open(config, &dir).expect("open durable");
+        let durable_trace = drive(&durable, &ops);
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(memory_trace, durable_trace);
+    }
+
+    /// Calls on a session that was never created are always
+    /// `UnknownSession`, for every entry point.
+    #[test]
+    fn ghost_sessions_always_yield_unknown_session(raw in 1u64..1000) {
+        let svc = IngestService::new(ServiceConfig::with_threads(1));
+        let _real = svc.create_session().unwrap(); // id 0; `raw` stays unknown
+        let ghost = SessionId::from_raw(raw);
+        let expected = CoreError::UnknownSession { session: raw };
+        prop_assert_eq!(
+            svc.open_round(ghost, 0, FoKind::Grr, 1.0, DOMAIN).unwrap_err(),
+            expected.clone()
+        );
+        prop_assert_eq!(
+            svc.submit(ghost, response(0, 0, false)).unwrap_err(),
+            expected.clone()
+        );
+        prop_assert_eq!(
+            svc.submit_batch(ghost, vec![response(0, 0, false)]).unwrap_err(),
+            expected.clone()
+        );
+        prop_assert_eq!(svc.close_round(ghost).unwrap_err(), expected.clone());
+        prop_assert_eq!(svc.refusals(ghost).unwrap_err(), expected.clone());
+        prop_assert_eq!(svc.epsilon_spent(ghost).unwrap_err(), expected.clone());
+        prop_assert_eq!(svc.end_session(ghost).unwrap_err(), expected);
+    }
+}

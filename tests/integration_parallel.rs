@@ -127,14 +127,14 @@ proptest! {
             let service = IngestService::new(
                 ServiceConfig::with_threads(shards).with_batch_size(batch_size),
             );
-            let session = service.create_session();
-            service.open_round(session, 0, fo, epsilon, oracle.clone()).unwrap();
+            let session = service.create_session().unwrap();
+            service.open_round(session, 0, fo, epsilon, domain).unwrap();
             for response in &responses {
                 service.submit(session, response.clone()).unwrap();
             }
             let parallel = service.close_round(session).unwrap();
             assert_bit_identical(&parallel, &sequential, &format!("service at {shards} threads"));
-            prop_assert_eq!(service.refusals(session), reference.refusals);
+            prop_assert_eq!(service.refusals(session).unwrap(), reference.refusals);
         }
     }
 

@@ -2,8 +2,9 @@
 //!
 //! Supports the slice of the API this workspace's property tests use:
 //! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
-//! range and [`collection::vec`] strategies, [`any`], `prop_map`, and
-//! the `prop_assert*` macros with [`TestCaseError`].
+//! range, tuple and [`collection::vec`] strategies, [`any`], [`Just`],
+//! the weighted [`prop_oneof!`] union, `prop_map`, and the
+//! `prop_assert*` macros with [`TestCaseError`].
 //!
 //! Differences from real proptest, by design: cases are generated from a
 //! deterministic per-test seed (derived from the test name) instead of
@@ -20,8 +21,8 @@ pub mod collection;
 /// Everything a property-test file needs.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -149,6 +150,73 @@ macro_rules! range_strategy {
 }
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A weighted union of boxed alternatives, all producing the same value
+/// type — what [`prop_oneof!`] expands to.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; weights must not all be zero.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        Union { options, total }
+    }
+
+    /// Box one alternative (a macro helper pinning the value type).
+    pub fn boxed<S: Strategy<Value = T> + 'static>(strategy: S) -> Box<dyn Strategy<Value = T>> {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.options {
+            if pick < *weight {
+                return strategy.generate(rng);
+            }
+            pick -= *weight;
+        }
+        unreachable!("pick < total by construction")
+    }
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Union::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
 
 /// Strategies drawing from explicit value sets.
 pub mod sample {
@@ -363,6 +431,24 @@ mod tests {
         #[test]
         fn config_attribute_is_accepted(b in any::<bool>()) {
             prop_assert!(matches!(b, true | false));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_every_weighted_arm(
+            picks in crate::collection::vec(
+                prop_oneof![
+                    3 => (0u64..5, any::<bool>()).prop_map(|(n, b)| if b { n } else { n + 5 }),
+                    1 => Just(99u64),
+                ],
+                200,
+            )
+        ) {
+            prop_assert!(picks.iter().all(|&p| p < 10 || p == 99));
+            // With weight 3:1 over 200 draws, both arms fire.
+            prop_assert!(picks.iter().any(|&p| p < 10));
+            prop_assert!(picks.contains(&99));
         }
     }
 
