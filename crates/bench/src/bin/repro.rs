@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|recovery|all> [options]
+//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|recovery|all> [options]
 //!
 //! options:
 //!   --quick          shrunk populations / truncated streams (same grids)
@@ -75,7 +75,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: repro \
-<fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|recovery|all> \
+<fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|recovery|all> \
 [--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO]";
 
 /// Write a benchmark artifact to the repo root and, when `--json` names
@@ -139,6 +139,16 @@ fn main() {
                 let report = experiments::throughput::run(cli.scale, host);
                 println!("{}", report.render());
                 write_artifact("BENCH_throughput.json", cli.json_dir.as_deref(), |path| {
+                    report.write_json(path)
+                });
+                eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
+                continue;
+            }
+            "net-throughput" => {
+                let host = HostMeta::capture(cli.stamp.clone());
+                let report = experiments::net::run(cli.scale, host);
+                println!("{}", report.render());
+                write_artifact("BENCH_net.json", cli.json_dir.as_deref(), |path| {
                     report.write_json(path)
                 });
                 eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod inspect;
+pub mod net;
 pub mod recovery;
 pub mod table2;
 pub mod throughput;

@@ -1,0 +1,270 @@
+//! Loopback throughput of the network frontend (`BENCH_net.json`).
+//!
+//! Pre-perturbs one round's worth of reports (10⁶ at paper scale, the
+//! same report set as `BENCH_throughput.json`), then drives it over a
+//! real TCP loopback: `NetClient` → frames → `NetServer` → tenant
+//! dispatcher → `IngestService`. Sweeping the client count splits the
+//! identical report set across that many concurrent connections, each
+//! bound to its own tenant, so the sweep exposes the frontend's
+//! concurrency behavior — while every closed round is still asserted
+//! **bit-identical** to the sequential in-process estimate.
+//!
+//! Compared against `BENCH_throughput.json` (same report set, no wire),
+//! the gap is the price of framing, checksums, and socket hops.
+
+use crate::hostmeta::HostMeta;
+use crate::scale::RunScale;
+use ldp_fo::{build_oracle, FoKind, OracleHandle};
+use ldp_ids::protocol::{AggregationServer, UserResponse};
+use ldp_metrics::Table;
+use ldp_net::{NetClient, NetServer, ServerConfig};
+use ldp_service::{ServiceConfig, TenantRegistry, TenantSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Concurrent client counts the sweep measures.
+pub const CLIENT_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Reports per round at each scale (same as the in-process throughput
+/// sweep, so the two artifacts are directly comparable).
+pub fn reports_per_round(scale: RunScale) -> u64 {
+    super::throughput::reports_per_round(scale)
+}
+
+/// One measured client count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetRun {
+    /// Concurrent connections (each on its own tenant).
+    pub clients: usize,
+    /// Wall-clock seconds for the best measured round.
+    pub elapsed_secs: f64,
+    /// Reports carried over the wire per second, all clients combined.
+    pub reports_per_sec: f64,
+}
+
+/// The full sweep, as written to `BENCH_net.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetBenchReport {
+    /// Artifact id ("net").
+    pub id: String,
+    /// Frequency oracle driving the fold.
+    pub fo: String,
+    /// Per-report privacy budget.
+    pub epsilon: f64,
+    /// Domain cardinality.
+    pub domain_size: usize,
+    /// Reports carried per measured round, across all clients.
+    pub reports_per_round: u64,
+    /// Responses per `SubmitBatch` frame.
+    pub chunk_size: usize,
+    /// Client pipelining window (unacked frames in flight).
+    pub window: usize,
+    /// Host the artifact was produced on.
+    pub host: HostMeta,
+    /// One entry per client count in [`CLIENT_SWEEP`].
+    pub runs: Vec<NetRun>,
+}
+
+impl NetBenchReport {
+    /// Render the sweep as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec!["clients", "elapsed s", "reports/s"]);
+        for run in &self.runs {
+            table.push_numeric_row(
+                run.clients.to_string(),
+                &[run.elapsed_secs, run.reports_per_sec],
+                2,
+            );
+        }
+        format!(
+            "== net — {} reports/round over loopback, {} d={} ε={}, chunk {}, window {} ==\n{}\n{}",
+            self.reports_per_round,
+            self.fo,
+            self.domain_size,
+            self.epsilon,
+            self.chunk_size,
+            self.window,
+            table.render(),
+            self.host.render()
+        )
+    }
+
+    /// Write the report as pretty JSON to `path`.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<PathBuf> {
+        let json = serde_json::to_string_pretty(self).expect("net report serializes");
+        std::fs::write(path, json)?;
+        Ok(path.to_path_buf())
+    }
+}
+
+/// Responses per `SubmitBatch` frame.
+const CHUNK: usize = 4096;
+/// Unacked frames each client keeps in flight.
+const WINDOW: usize = 16;
+
+fn assert_bit_identical(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "estimate shapes differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "estimate bits differ over the wire"
+        );
+    }
+}
+
+/// Drive `part` through one connection and return the closed round's
+/// frequency bits for the bit-identity check.
+fn drive_client(
+    addr: &str,
+    tenant: &str,
+    fo: FoKind,
+    epsilon: f64,
+    domain_size: usize,
+    part: &[UserResponse],
+) -> (u64, Vec<f64>) {
+    let mut client = NetClient::connect(addr.to_string(), tenant)
+        .expect("connect")
+        .with_window(WINDOW);
+    client
+        .open_round_with(0, fo, epsilon, domain_size)
+        .expect("open round");
+    for delta in part.chunks(CHUNK) {
+        client.submit_batch(delta.to_vec()).expect("submit batch");
+    }
+    let estimate = client.close_round().expect("close round");
+    (estimate.reporters, estimate.frequencies)
+}
+
+/// Sequential in-process estimate over the same responses — the
+/// bit-identity reference.
+fn sequential_reference(
+    oracle: &OracleHandle,
+    fo: FoKind,
+    epsilon: f64,
+    responses: &[UserResponse],
+) -> Vec<f64> {
+    let mut server = AggregationServer::new();
+    server.open_round(0, fo, epsilon, oracle.clone());
+    for response in responses {
+        server.submit(response).expect("reference submit");
+    }
+    server.close_round().expect("reference close").frequencies
+}
+
+/// Run the loopback sweep at `scale`, stamping the artifact with `host`.
+pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
+    let epsilon = 1.0;
+    let domain_size = 128;
+    let fo = FoKind::Oue;
+    let reports = reports_per_round(scale);
+    let oracle = build_oracle(fo, epsilon, domain_size).expect("valid oracle");
+
+    // Same seed as the in-process throughput sweep: identical report
+    // set, so the two artifacts differ only by the wire.
+    let mut rng = StdRng::seed_from_u64(0x1d9_5eed);
+    let template: Vec<UserResponse> = (0..reports)
+        .map(|i| UserResponse::Report {
+            round: 0,
+            report: oracle.perturb(i as usize % domain_size, &mut rng),
+        })
+        .collect();
+
+    let mut runs = Vec::with_capacity(CLIENT_SWEEP.len());
+    for clients in CLIENT_SWEEP {
+        let share = template.len().div_ceil(clients);
+        let parts: Vec<&[UserResponse]> = template.chunks(share).collect();
+        // Per-part sequential references, computed outside the timed
+        // region.
+        let references: Vec<Vec<f64>> = parts
+            .iter()
+            .map(|part| sequential_reference(&oracle, fo, epsilon, part))
+            .collect();
+
+        let mut best_elapsed = f64::INFINITY;
+        for _ in 0..2 {
+            let registry = TenantRegistry::new();
+            for i in 0..parts.len() {
+                registry
+                    .register(TenantSpec::in_memory(
+                        format!("bench-{i}"),
+                        ServiceConfig::with_threads(1).with_batch_size(4096),
+                    ))
+                    .expect("register tenant");
+            }
+            let server = NetServer::start("127.0.0.1:0", &registry, ServerConfig::default())
+                .expect("start server");
+            let addr = server.addr().to_string();
+
+            let start = Instant::now();
+            let results: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, part)| {
+                        let addr = addr.clone();
+                        scope.spawn(move || {
+                            drive_client(
+                                &addr,
+                                &format!("bench-{i}"),
+                                fo,
+                                epsilon,
+                                domain_size,
+                                part,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            server.shutdown();
+
+            let carried: u64 = results.iter().map(|(reporters, _)| reporters).sum();
+            assert_eq!(carried, reports, "round lost reports over the wire");
+            for ((_, frequencies), reference) in results.iter().zip(&references) {
+                assert_bit_identical(frequencies, reference);
+            }
+            best_elapsed = best_elapsed.min(elapsed);
+        }
+        runs.push(NetRun {
+            clients,
+            elapsed_secs: best_elapsed,
+            reports_per_sec: reports as f64 / best_elapsed,
+        });
+    }
+
+    NetBenchReport {
+        id: "net".into(),
+        fo: fo.name().into(),
+        epsilon,
+        domain_size,
+        reports_per_round: reports,
+        chunk_size: CHUNK,
+        window: WINDOW,
+        host,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_measures_every_client_count() {
+        let report = run(RunScale::Quick, HostMeta::capture(None));
+        assert_eq!(report.runs.len(), CLIENT_SWEEP.len());
+        assert_eq!(report.reports_per_round, 100_000);
+        for run in &report.runs {
+            assert!(run.reports_per_sec > 0.0, "{run:?}");
+        }
+        // Round-trips through serde.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: NetBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -57,6 +57,27 @@ pub struct RecoveryTiming {
     pub replay_reports_per_sec: f64,
 }
 
+/// One group-commit measurement: the full report set at
+/// `WalSync::Always`, split across N concurrent sessions submitting
+/// small deltas. With one session every append pays its own fsync; with
+/// several, concurrent commits coalesce into shared `sync_data` calls —
+/// `fsyncs_per_record` is the win.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupCommitRun {
+    /// Concurrent sessions submitting.
+    pub sessions: usize,
+    /// Wall-clock seconds to ingest the full report set.
+    pub elapsed_secs: f64,
+    /// Reports ingested per second across all sessions.
+    pub reports_per_sec: f64,
+    /// WAL records appended (deltas + session/round lifecycle).
+    pub wal_records: u64,
+    /// `sync_data` calls that made them durable.
+    pub fsyncs: u64,
+    /// fsyncs ÷ records — 1.0 means no coalescing, lower is better.
+    pub fsyncs_per_record: f64,
+}
+
 /// The full artifact, as written to `BENCH_recovery.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryBenchReport {
@@ -78,6 +99,8 @@ pub struct RecoveryBenchReport {
     pub host: HostMeta,
     /// One entry per durability level.
     pub runs: Vec<DurabilityRun>,
+    /// Group-commit coalescing at 1 vs several concurrent sessions.
+    pub group_commit: Vec<GroupCommitRun>,
     /// The worst-case restart measurement.
     pub recovery: RecoveryTiming,
 }
@@ -97,14 +120,29 @@ impl RecoveryBenchReport {
                 2,
             );
         }
+        let mut group = Table::new(vec!["sessions", "reports/s", "records", "fsyncs", "fs/rec"]);
+        for run in &self.group_commit {
+            group.push_numeric_row(
+                run.sessions.to_string(),
+                &[
+                    run.reports_per_sec,
+                    run.wal_records as f64,
+                    run.fsyncs as f64,
+                    run.fsyncs_per_record,
+                ],
+                3,
+            );
+        }
         format!(
-            "== recovery — {} reports/round, {} d={} ε={}, batch {} ==\n{}\nrestart: {} WAL records ({} reports) replayed in {:.3}s ({:.0} reports/s)\n{}",
+            "== recovery — {} reports/round, {} d={} ε={}, batch {} ==\n{}\ngroup commit (wal-always, {}-report deltas):\n{}\nrestart: {} WAL records ({} reports) replayed in {:.3}s ({:.0} reports/s)\n{}",
             self.reports_per_round,
             self.fo,
             self.domain_size,
             self.epsilon,
             self.batch_size,
             table.render(),
+            GROUP_CHUNK,
+            group.render(),
             self.recovery.wal_records_replayed,
             self.recovery.reports_recovered,
             self.recovery.recover_secs,
@@ -125,10 +163,69 @@ impl RecoveryBenchReport {
 /// becomes one WAL record.
 const CHUNK: usize = 8192;
 
+/// Delta size for the group-commit measurement: small on purpose, so
+/// the run is fsync-bound and coalescing (not batching) is what's
+/// measured.
+const GROUP_CHUNK: usize = 256;
+
 fn bench_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ldp_bench_recovery_{}_{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Ingest `template` split across `sessions` concurrent sessions of one
+/// fsync-per-append service, and report how many `sync_data` calls the
+/// group-commit WAL actually issued.
+fn group_commit_run(
+    template: &[UserResponse],
+    sessions: usize,
+    config: ServiceConfig,
+    reports: u64,
+) -> GroupCommitRun {
+    let dir = bench_dir(&format!("group_{sessions}"));
+    // Snapshots rotate the WAL and reset its counters; disable them so
+    // the record/fsync totals describe the whole run.
+    let config = config.with_sync(WalSync::Always).with_snapshot_every(0);
+    let service = IngestService::open(config, &dir).expect("open durable service");
+    let share = template.len().div_ceil(sessions);
+    let start = Instant::now();
+    let reporters: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = template
+            .chunks(share)
+            .map(|part| {
+                let service = &service;
+                scope.spawn(move || {
+                    let session = service.create_session().expect("create session");
+                    service
+                        .open_round(session, 0, FoKind::Oue, 1.0, 128)
+                        .expect("open round");
+                    for delta in part.chunks(GROUP_CHUNK) {
+                        service
+                            .submit_batch(session, delta.to_vec())
+                            .expect("submit batch");
+                    }
+                    let estimate = service.close_round(session).expect("close round");
+                    service.end_session(session).expect("end session");
+                    estimate.reporters
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(reporters, reports, "group-commit run lost reports");
+    let stats = service.wal_stats().expect("durable service has a WAL");
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+    GroupCommitRun {
+        sessions,
+        elapsed_secs: elapsed,
+        reports_per_sec: reports as f64 / elapsed.max(1e-9),
+        wal_records: stats.records,
+        fsyncs: stats.syncs,
+        fsyncs_per_record: stats.syncs as f64 / stats.records.max(1) as f64,
+    }
 }
 
 fn ingest_round(service: &IngestService, template: &[UserResponse], reports: u64) -> f64 {
@@ -207,6 +304,14 @@ pub fn run(scale: RunScale, host: HostMeta) -> RecoveryBenchReport {
         });
     }
 
+    // Group commit: the same reports at WalSync::Always, 1 vs 4
+    // concurrent sessions. Coalesced commits should need far fewer
+    // fsyncs per WAL record than the sequential run.
+    let group_commit = [1usize, 4]
+        .iter()
+        .map(|&sessions| group_commit_run(&template, sessions, config, reports))
+        .collect();
+
     // Worst-case restart: the whole round sits in one WAL generation
     // (snapshots disabled), the service dies mid-round, and the reopen
     // re-folds every logged report.
@@ -246,6 +351,7 @@ pub fn run(scale: RunScale, host: HostMeta) -> RecoveryBenchReport {
         chunk_size: CHUNK,
         host,
         runs,
+        group_commit,
         recovery: RecoveryTiming {
             wal_records_replayed: report.wal_records_replayed,
             reports_recovered: reports,
@@ -270,6 +376,22 @@ mod tests {
         }
         assert_eq!(report.recovery.reports_recovered, 100_000);
         assert!(report.recovery.wal_records_replayed > 0);
+        // Group commit: both session counts measured; concurrent
+        // sessions never need *more* fsyncs per record than one, and
+        // coalescing keeps fsyncs at or below the record count.
+        assert_eq!(report.group_commit.len(), 2);
+        assert_eq!(report.group_commit[0].sessions, 1);
+        assert_eq!(report.group_commit[1].sessions, 4);
+        for run in &report.group_commit {
+            assert!(run.fsyncs > 0, "{run:?}");
+            assert!(run.fsyncs <= run.wal_records, "{run:?}");
+            assert!(run.reports_per_sec > 0.0, "{run:?}");
+        }
+        assert!(
+            report.group_commit[1].fsyncs_per_record <= report.group_commit[0].fsyncs_per_record,
+            "coalescing regressed: {:?}",
+            report.group_commit
+        );
         // Round-trips through serde.
         let json = serde_json::to_string(&report).unwrap();
         let back: RecoveryBenchReport = serde_json::from_str(&json).unwrap();

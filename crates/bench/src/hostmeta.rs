@@ -20,6 +20,14 @@ pub struct HostMeta {
     /// ISO-8601 timestamp passed in by the harness (`--stamp`); `None`
     /// when the run was not stamped.
     pub stamped_at: Option<String>,
+    /// Abbreviated git commit the benched tree was at, with a `-dirty`
+    /// suffix when the working tree had local changes; `"unknown"` when
+    /// neither git nor the `BENCH_COMMIT` variable can say.
+    pub commit: String,
+}
+
+fn unknown_commit() -> String {
+    "unknown".into()
 }
 
 impl HostMeta {
@@ -33,21 +41,55 @@ impl HostMeta {
                 .unwrap_or(1),
             rustc: rustc_version().unwrap_or_else(|| "unknown".into()),
             stamped_at: stamp.or_else(|| std::env::var("BENCH_STAMP").ok()),
+            commit: std::env::var("BENCH_COMMIT")
+                .ok()
+                .filter(|c| !c.is_empty())
+                .or_else(git_commit)
+                .unwrap_or_else(unknown_commit),
         }
     }
 
     /// Render as a one-line table footer.
     pub fn render(&self) -> String {
         format!(
-            "host: {} cores, {}{}",
+            "host: {} cores, {}, commit {}{}",
             self.cores,
             self.rustc,
+            self.commit,
             match &self.stamped_at {
                 Some(stamp) => format!(", {stamp}"),
                 None => String::new(),
             }
         )
     }
+}
+
+/// `git rev-parse --short=12 HEAD`, suffixed `-dirty` when the working
+/// tree differs from HEAD. `None` when git is absent or this is not a
+/// repository.
+fn git_commit() -> Option<String> {
+    let head = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !head.status.success() {
+        return None;
+    }
+    let mut commit = String::from_utf8(head.stdout).ok()?.trim().to_string();
+    if commit.is_empty() {
+        return None;
+    }
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| !out.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        commit.push_str("-dirty");
+    }
+    Some(commit)
 }
 
 fn rustc_version() -> Option<String> {
@@ -73,6 +115,7 @@ mod tests {
         assert!(meta.cores >= 1);
         assert!(!meta.rustc.is_empty());
         assert_eq!(meta.stamped_at.as_deref(), Some("2026-08-07T00:00:00Z"));
+        assert!(!meta.commit.is_empty());
     }
 
     #[test]
@@ -81,6 +124,7 @@ mod tests {
             cores: 4,
             rustc: "rustc 1.95.0".into(),
             stamped_at: None,
+            commit: "abc123def456-dirty".into(),
         };
         let json = serde_json::to_string(&meta).unwrap();
         let back: HostMeta = serde_json::from_str(&json).unwrap();
@@ -93,9 +137,11 @@ mod tests {
             cores: 2,
             rustc: "rustc 1.95.0".into(),
             stamped_at: Some("2026-08-07T12:00:00Z".into()),
+            commit: "abc123def456".into(),
         };
         let line = meta.render();
         assert!(line.contains("2 cores"));
+        assert!(line.contains("commit abc123def456"));
         assert!(line.contains("1.95.0"));
         assert!(line.contains("2026-08-07"));
     }

@@ -44,7 +44,7 @@ pub enum ReportScope {
 }
 
 /// The outcome of one collection round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RoundEstimate {
     /// Unbiased per-cell frequency estimates for the reporting group.
     pub frequencies: Vec<f64>,

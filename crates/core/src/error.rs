@@ -109,6 +109,24 @@ pub enum CoreError {
         /// What the replay expected vs. what the log said.
         detail: String,
     },
+    /// An operation named a tenant the registry does not host.
+    UnknownTenant {
+        /// The tenant id the operation carried.
+        tenant: String,
+    },
+    /// Registering a tenant id that is already hosted.
+    TenantExists {
+        /// The duplicate tenant id.
+        tenant: String,
+    },
+    /// A tenant id failed validation (empty, too long, or containing
+    /// bytes outside the printable-ASCII id alphabet).
+    InvalidTenant {
+        /// The offending tenant id (lossily printable).
+        tenant: String,
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -172,6 +190,15 @@ impl std::fmt::Display for CoreError {
             } => write!(f, "corrupt durability file {file} at byte {offset}: {detail}"),
             CoreError::RecoveryMismatch { detail } => {
                 write!(f, "WAL replay contradicts recovered state: {detail}")
+            }
+            CoreError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant:?} is not registered")
+            }
+            CoreError::TenantExists { tenant } => {
+                write!(f, "tenant {tenant:?} is already registered")
+            }
+            CoreError::InvalidTenant { tenant, detail } => {
+                write!(f, "invalid tenant id {tenant:?}: {detail}")
             }
         }
     }
@@ -245,6 +272,16 @@ mod tests {
             },
             CoreError::RecoveryMismatch {
                 detail: "close for round 3 but round 2 is open".into(),
+            },
+            CoreError::UnknownTenant {
+                tenant: "acme".into(),
+            },
+            CoreError::TenantExists {
+                tenant: "acme".into(),
+            },
+            CoreError::InvalidTenant {
+                tenant: "".into(),
+                detail: "empty id".into(),
             },
         ];
         for v in variants {

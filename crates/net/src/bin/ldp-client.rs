@@ -1,0 +1,195 @@
+//! `ldp-client` — drive one collection round through a running
+//! `ldp-server` and (optionally) verify the network estimate is
+//! bit-identical to the in-process sequential `AggregationServer`.
+//!
+//! ```text
+//! ldp-client --addr HOST:PORT [--tenant NAME] [--fo grr|oue|olh|adaptive]
+//!            [--epsilon E] [--domain D] [--reports N] [--seed S]
+//!            [--chunk C] [--window W] [--check-inprocess]
+//! ```
+//!
+//! Reports are generated deterministically from `--seed` (value drawn,
+//! then perturbed, from one rng stream), submitted in chunks of
+//! `--chunk`, and the closed round's estimate is printed. With
+//! `--check-inprocess` the same response stream is replayed through an
+//! in-process [`AggregationServer`] and the two estimates are compared
+//! bit for bit; any mismatch exits non-zero.
+//!
+//! [`AggregationServer`]: ldp_ids::protocol::AggregationServer
+
+use ldp_fo::{build_oracle, FoKind};
+use ldp_ids::protocol::{AggregationServer, UserResponse};
+use ldp_net::NetClient;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldp-client --addr HOST:PORT [--tenant NAME] [--fo KIND] [--epsilon E] \
+         [--domain D] [--reports N] [--seed S] [--chunk C] [--window W] [--check-inprocess]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    addr: String,
+    tenant: String,
+    fo: FoKind,
+    epsilon: f64,
+    domain: usize,
+    reports: usize,
+    seed: u64,
+    chunk: usize,
+    window: usize,
+    check_inprocess: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: String::new(),
+        tenant: "default".into(),
+        fo: FoKind::Grr,
+        epsilon: 1.0,
+        domain: 16,
+        reports: 100_000,
+        seed: 42,
+        chunk: 4096,
+        window: ldp_net::DEFAULT_WINDOW,
+        check_inprocess: false,
+    };
+    let mut args = std::env::args().skip(1);
+    fn value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+        let raw = args.next().unwrap_or_else(|| {
+            eprintln!("ldp-client: {flag} needs a value");
+            usage();
+        });
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("ldp-client: bad value `{raw}` for {flag}");
+            usage();
+        })
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value(&mut args, "--addr"),
+            "--tenant" => opts.tenant = value(&mut args, "--tenant"),
+            "--fo" => opts.fo = value(&mut args, "--fo"),
+            "--epsilon" => opts.epsilon = value(&mut args, "--epsilon"),
+            "--domain" => opts.domain = value(&mut args, "--domain"),
+            "--reports" => opts.reports = value(&mut args, "--reports"),
+            "--seed" => opts.seed = value(&mut args, "--seed"),
+            "--chunk" => opts.chunk = value::<usize>(&mut args, "--chunk").max(1),
+            "--window" => opts.window = value::<usize>(&mut args, "--window").max(1),
+            "--check-inprocess" => opts.check_inprocess = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ldp-client: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if opts.addr.is_empty() {
+        eprintln!("ldp-client: --addr is required");
+        usage();
+    }
+    opts
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let oracle =
+        build_oracle(opts.fo, opts.epsilon, opts.domain).map_err(|e| format!("oracle: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut client = NetClient::connect(opts.addr.clone(), opts.tenant.clone())
+        .map_err(|e| format!("connect {}: {e}", opts.addr))?
+        .with_window(opts.window);
+    let request = client
+        .open_round_with(0, opts.fo, opts.epsilon, opts.domain)
+        .map_err(|e| format!("open round: {e}"))?;
+
+    // The sequential reference consumes the byte-for-byte same stream.
+    let mut reference = opts.check_inprocess.then(|| {
+        let mut server = AggregationServer::new();
+        server.open_round(request.t, opts.fo, opts.epsilon, oracle.clone());
+        server
+    });
+
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < opts.reports {
+        let n = opts.chunk.min(opts.reports - sent);
+        let batch: Vec<UserResponse> = (0..n)
+            .map(|_| {
+                let value = rng.gen_range(0..opts.domain);
+                UserResponse::Report {
+                    round: request.round,
+                    report: oracle.perturb(value, &mut rng),
+                }
+            })
+            .collect();
+        if let Some(server) = reference.as_mut() {
+            for response in &batch {
+                server
+                    .submit(response)
+                    .map_err(|e| format!("reference: {e}"))?;
+            }
+        }
+        client
+            .submit_batch(batch)
+            .map_err(|e| format!("submit at seq {}: {e}", client.next_seq()))?;
+        sent += n;
+    }
+    let estimate = client
+        .close_round()
+        .map_err(|e| format!("close round: {e}"))?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "round {} closed: {} reporters, {} cells, {:.0} reports/s",
+        request.round,
+        estimate.reporters,
+        estimate.frequencies.len(),
+        opts.reports as f64 / elapsed.max(1e-9),
+    );
+
+    if let Some(server) = reference.as_mut() {
+        let expected = server
+            .close_round()
+            .map_err(|e| format!("reference close: {e}"))?;
+        if expected.reporters != estimate.reporters
+            || expected.frequencies.len() != estimate.frequencies.len()
+        {
+            return Err(format!(
+                "estimate shape mismatch: net {}x{}, in-process {}x{}",
+                estimate.reporters,
+                estimate.frequencies.len(),
+                expected.reporters,
+                expected.frequencies.len()
+            ));
+        }
+        for (i, (net, local)) in estimate
+            .frequencies
+            .iter()
+            .zip(&expected.frequencies)
+            .enumerate()
+        {
+            if net.to_bits() != local.to_bits() {
+                return Err(format!(
+                    "estimate cell {i} differs: net {net} ({:#018x}) vs in-process {local} ({:#018x})",
+                    net.to_bits(),
+                    local.to_bits()
+                ));
+            }
+        }
+        println!("bit-identical to in-process AggregationServer: OK");
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Err(e) = run(&opts) {
+        eprintln!("ldp-client: {e}");
+        std::process::exit(1);
+    }
+}

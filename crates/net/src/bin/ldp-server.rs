@@ -1,0 +1,103 @@
+//! `ldp-server` — stand-alone network frontend for the LDP ingestion
+//! service.
+//!
+//! ```text
+//! ldp-server [--addr HOST:PORT] [--tenant NAME[:THREADS][=DIR]]...
+//! ```
+//!
+//! Each `--tenant` registers one isolated collector; `THREADS` sizes its
+//! worker pool (default 1) and `=DIR` makes it durable (WAL + snapshots
+//! under `DIR`). With no `--tenant` a single in-memory tenant named
+//! `default` is hosted. The process serves until killed; the first
+//! stdout line is `listening on ADDR`, so scripts can wait for
+//! readiness.
+
+use ldp_net::{NetServer, ServerConfig};
+use ldp_service::{ServiceConfig, TenantRegistry, TenantSpec};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!("usage: ldp-server [--addr HOST:PORT] [--tenant NAME[:THREADS][=DIR]]...");
+    std::process::exit(2);
+}
+
+/// Parse `NAME[:THREADS][=DIR]` into a tenant spec.
+fn parse_tenant(arg: &str) -> Result<TenantSpec, String> {
+    let (head, dir) = match arg.split_once('=') {
+        Some((head, dir)) if !dir.is_empty() => (head, Some(dir)),
+        Some(_) => return Err(format!("empty durability dir in `{arg}`")),
+        None => (arg, None),
+    };
+    let (name, threads) = match head.split_once(':') {
+        Some((name, threads)) => {
+            let threads: usize = threads
+                .parse()
+                .map_err(|_| format!("bad thread count in `{arg}`"))?;
+            (name, threads.max(1))
+        }
+        None => (head, 1),
+    };
+    let config = ServiceConfig::with_threads(threads);
+    Ok(match dir {
+        Some(dir) => TenantSpec::durable(name, config, dir),
+        None => TenantSpec::in_memory(name, config),
+    })
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut specs: Vec<TenantSpec> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--tenant" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match parse_tenant(&spec) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => {
+                        eprintln!("ldp-server: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ldp-server: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if specs.is_empty() {
+        specs.push(TenantSpec::in_memory(
+            "default",
+            ServiceConfig::with_threads(1),
+        ));
+    }
+
+    let registry = TenantRegistry::new();
+    for spec in specs {
+        let id = spec.id.clone();
+        if let Err(e) = registry.register(spec) {
+            eprintln!("ldp-server: tenant `{id}`: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let server = match NetServer::start(&addr, &registry, ServerConfig::default()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ldp-server: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    println!("tenants: {}", registry.tenant_ids().join(", "));
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,359 @@
+//! [`NetClient`]: the typed client side of the wire protocol, with
+//! pipelined submits and reconnect-and-resume.
+//!
+//! The client mirrors a session's sequencing state (`next_round`,
+//! `next_seq`) and drives the idempotent `*_at` server calls with it.
+//! Submitted deltas stay in an in-flight replay queue until their ack
+//! arrives; after a disconnect, [`recover`](NetClient::recover) opens a
+//! fresh connection, resumes the session (`Hello { resume }`), trims
+//! the queue below the server's acknowledged sequence number, and
+//! replays the rest — duplicates are no-ops server-side, so the round
+//! converges to exactly the state an uninterrupted run would have
+//! reached.
+
+use crate::codec::{encode_frame, FrameBuffer};
+use crate::error::NetError;
+use crate::frame::{AckBody, Frame};
+use ldp_fo::FoKind;
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Default number of unacknowledged `SubmitBatch` frames the client
+/// keeps in flight before blocking on acks.
+pub const DEFAULT_WINDOW: usize = 32;
+
+/// A connected, session-bound protocol client.
+#[derive(Debug)]
+pub struct NetClient {
+    addr: String,
+    tenant: String,
+    stream: TcpStream,
+    fb: FrameBuffer,
+    session: u64,
+    next_corr: u64,
+    next_round: u64,
+    open_round: Option<u64>,
+    next_seq: u64,
+    /// Unacknowledged deltas, oldest first: `(seq, responses)`.
+    inflight: VecDeque<(u64, Vec<UserResponse>)>,
+    /// Submit frames sent on *this* connection whose ack has not been
+    /// read yet. Tracked separately from `inflight`: a duplicate-delta
+    /// ack can retire several inflight entries at once, but every send
+    /// still produces exactly one reply to consume.
+    unacked: usize,
+    window: usize,
+}
+
+impl NetClient {
+    /// Connect to `addr` and open a fresh session on `tenant`.
+    pub fn connect(addr: impl Into<String>, tenant: impl Into<String>) -> Result<Self, NetError> {
+        Self::attach(addr.into(), tenant.into(), None)
+    }
+
+    /// Connect to `addr` and resume existing `session` on `tenant`.
+    pub fn resume(
+        addr: impl Into<String>,
+        tenant: impl Into<String>,
+        session: u64,
+    ) -> Result<Self, NetError> {
+        Self::attach(addr.into(), tenant.into(), Some(session))
+    }
+
+    fn attach(addr: String, tenant: String, resume: Option<u64>) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(&addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = NetClient {
+            addr,
+            tenant,
+            stream,
+            fb: FrameBuffer::new(),
+            session: 0,
+            next_corr: 1,
+            next_round: 0,
+            open_round: None,
+            next_seq: 0,
+            inflight: VecDeque::new(),
+            unacked: 0,
+            window: DEFAULT_WINDOW,
+        };
+        client.hello(resume)?;
+        Ok(client)
+    }
+
+    /// Set the pipelining window (unacked submits in flight).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The bound session's raw id (stable across reconnects).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The sequence number the next submitted delta will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The currently open round, if any.
+    pub fn open_round(&self) -> Option<u64> {
+        self.open_round
+    }
+
+    /// Sever the connection without closing the session — test/ops
+    /// helper simulating a network drop. Follow with
+    /// [`recover`](Self::recover).
+    pub fn disconnect(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Reconnect, resume the session, and replay unacknowledged deltas.
+    ///
+    /// The server's `Hello` ack tells us what it already has
+    /// (`next_seq`); everything below that is dropped from the replay
+    /// queue, the rest is re-sent. Safe to call even if the old
+    /// connection is still healthy.
+    pub fn recover(&mut self) -> Result<(), NetError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.fb.clear();
+        // Replies in flight on the dead connection are gone with it.
+        self.unacked = 0;
+        let local_next = self.next_seq;
+        let replay: Vec<(u64, Vec<UserResponse>)> = self.inflight.drain(..).collect();
+        self.hello(Some(self.session))?;
+        // hello() synced next_seq to the server's high-water mark;
+        // replay what it lacks, then restore our own (which includes the
+        // replayed deltas).
+        let server_next = self.next_seq;
+        let round = self.open_round;
+        for (seq, responses) in replay {
+            if seq < server_next {
+                continue; // the ack was lost, not the delta
+            }
+            let round = round.ok_or_else(|| NetError::Protocol {
+                detail: format!("replaying seq {seq} but no round is open server-side"),
+            })?;
+            self.inflight.push_back((seq, responses.clone()));
+            self.unacked += 1;
+            self.send_submit(round, seq, responses)?;
+        }
+        self.next_seq = local_next.max(server_next);
+        Ok(())
+    }
+
+    /// Open the next collection round at timestamp `t`.
+    pub fn open_round_with(
+        &mut self,
+        t: u64,
+        fo: FoKind,
+        epsilon: f64,
+        domain_size: usize,
+    ) -> Result<ReportRequest, NetError> {
+        self.drain_acks(0)?;
+        let corr = self.corr();
+        let request = ReportRequest {
+            round: self.next_round,
+            t,
+            fo,
+            epsilon,
+            domain_size,
+        };
+        self.send(&Frame::OpenRound {
+            corr,
+            session: self.session,
+            request,
+        })?;
+        match self.expect_ack(corr)? {
+            AckBody::Opened { request } => {
+                self.open_round = Some(request.round);
+                self.next_round = request.round + 1;
+                Ok(request)
+            }
+            other => Err(unexpected("Opened", &other)),
+        }
+    }
+
+    /// Submit one delta of responses to the open round (pipelined: up
+    /// to `window` deltas ride unacknowledged).
+    pub fn submit_batch(&mut self, responses: Vec<UserResponse>) -> Result<(), NetError> {
+        let round = self.open_round.ok_or_else(|| NetError::Protocol {
+            detail: "submit_batch with no open round".into(),
+        })?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.push_back((seq, responses.clone()));
+        self.unacked += 1;
+        self.send_submit(round, seq, responses)?;
+        // Keep at most `window` deltas unacknowledged.
+        while self.unacked > self.window {
+            self.drain_one_ack()?;
+        }
+        Ok(())
+    }
+
+    /// Block until every pipelined submit has been acknowledged (and is
+    /// therefore applied — and, on a durable tenant, logged —
+    /// server-side).
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.drain_acks(0)
+    }
+
+    /// Close the open round and return its estimate (bit-identical to
+    /// an in-process close over the same responses).
+    pub fn close_round(&mut self) -> Result<RoundEstimate, NetError> {
+        let round = self.open_round.ok_or_else(|| NetError::Protocol {
+            detail: "close_round with no open round".into(),
+        })?;
+        self.drain_acks(0)?;
+        let corr = self.corr();
+        self.send(&Frame::CloseRound {
+            corr,
+            session: self.session,
+            round,
+        })?;
+        match self.expect_ack(corr)? {
+            AckBody::Closed { estimate } => {
+                self.open_round = None;
+                Ok(estimate)
+            }
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+
+    fn corr(&mut self) -> u64 {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        corr
+    }
+
+    fn hello(&mut self, resume: Option<u64>) -> Result<(), NetError> {
+        let corr = self.corr();
+        self.send(&Frame::Hello {
+            corr,
+            tenant: self.tenant.clone(),
+            resume,
+        })?;
+        match self.expect_ack(corr)? {
+            AckBody::Session {
+                session,
+                next_round,
+                next_seq,
+                open_round,
+            } => {
+                self.session = session;
+                self.next_round = next_round;
+                self.next_seq = next_seq;
+                self.open_round = open_round;
+                Ok(())
+            }
+            other => Err(unexpected("Session", &other)),
+        }
+    }
+
+    fn send_submit(
+        &mut self,
+        round: u64,
+        seq: u64,
+        responses: Vec<UserResponse>,
+    ) -> Result<(), NetError> {
+        let corr = self.corr();
+        self.send(&Frame::SubmitBatch {
+            corr,
+            session: self.session,
+            round,
+            seq,
+            responses,
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.stream.write_all(&encode_frame(frame))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, NetError> {
+        loop {
+            if let Some(frame) = self.fb.next_frame()? {
+                return Ok(frame);
+            }
+            let mut buf = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.fb.feed(&buf[..n]);
+        }
+    }
+
+    /// Consume one pending submit ack (replies arrive in request order).
+    fn drain_one_ack(&mut self) -> Result<(), NetError> {
+        match self.recv()? {
+            Frame::Ack {
+                body: AckBody::Submitted { next_seq },
+                ..
+            } => {
+                self.unacked = self.unacked.saturating_sub(1);
+                while self
+                    .inflight
+                    .front()
+                    .is_some_and(|(seq, _)| *seq < next_seq)
+                {
+                    self.inflight.pop_front();
+                }
+                Ok(())
+            }
+            Frame::Err { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol {
+                detail: format!("expected Submitted ack, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Block until at most `leave` submits remain unacknowledged.
+    fn drain_acks(&mut self, leave: usize) -> Result<(), NetError> {
+        while self.unacked > leave {
+            self.drain_one_ack()?;
+        }
+        Ok(())
+    }
+
+    /// Receive the reply to non-pipelined request `corr` (all submit
+    /// acks must be drained first).
+    fn expect_ack(&mut self, corr: u64) -> Result<AckBody, NetError> {
+        match self.recv()? {
+            Frame::Ack {
+                corr: reply_corr,
+                body,
+            } => {
+                if reply_corr != corr {
+                    return Err(NetError::Protocol {
+                        detail: format!("reply for request {reply_corr}, expected {corr}"),
+                    });
+                }
+                Ok(body)
+            }
+            Frame::Err { error, .. } => Err(NetError::Remote(error)),
+            other => Err(NetError::Protocol {
+                detail: format!("expected Ack, got {other:?}"),
+            }),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &AckBody) -> NetError {
+    NetError::Protocol {
+        detail: format!("expected {wanted} ack body, got {got:?}"),
+    }
+}

@@ -1,0 +1,189 @@
+//! One accepted connection: reader loop + writer thread.
+//!
+//! The reader drains the socket into a [`FrameBuffer`], resolves the
+//! connection's tenant at `Hello`, and forwards every decoded request
+//! into the tenant's bounded dispatcher queue (blocking there is the
+//! backpressure path). A separate writer thread owns the outbound half
+//! of the socket and serializes reply frames from a bounded channel, so
+//! slow clients stall only their own replies.
+//!
+//! Reads poll with a short timeout instead of blocking indefinitely:
+//! each wakeup checks the server's stop flag (graceful shutdown) and an
+//! idle deadline (dead peers are reaped after
+//! [`ServerConfig::read_timeout`](crate::server::ServerConfig)).
+
+use crate::codec::{encode_frame, FrameBuffer};
+use crate::error::FrameError;
+use crate::frame::{Frame, WireError, WIRE_VERSION};
+use crate::server::ServerConfig;
+use crate::tenant::{TenantWork, Tenants};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Serve one accepted connection until EOF, error, idle timeout, or
+/// server shutdown.
+pub(crate) fn serve(
+    stream: TcpStream,
+    tenants: Arc<Tenants>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    if stream.set_read_timeout(Some(config.poll_interval)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Bounded reply lane: the dispatcher blocks here if this client
+    // stops reading, rather than buffering its replies unboundedly.
+    let (reply_tx, reply_rx) = sync_channel::<Frame>(config.queue_depth);
+    let writer = std::thread::Builder::new()
+        .name("conn-writer".into())
+        .spawn(move || {
+            let mut write_half = write_half;
+            while let Ok(frame) = reply_rx.recv() {
+                if write_half.write_all(&encode_frame(&frame)).is_err() {
+                    break;
+                }
+            }
+            let _ = write_half.flush();
+        })
+        .expect("spawn connection writer");
+
+    read_loop(stream, &tenants, &config, &stop, &reply_tx);
+
+    // Dropping our reply sender lets the writer drain queued replies
+    // (including any dispatcher replies still in flight via its own
+    // clone) and exit.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    tenants: &Tenants,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    reply_tx: &SyncSender<Frame>,
+) {
+    let mut fb = FrameBuffer::new();
+    let mut tenant_queue: Option<SyncSender<TenantWork>> = None;
+    let mut buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => {
+                last_activity = Instant::now();
+                fb.feed(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= config.read_timeout {
+                    return; // idle peer
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            let frame = match fb.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    // The stream is unsynchronized after a framing
+                    // defect: report it, then drop the connection.
+                    let _ = reply_tx.send(framing_reply(e));
+                    return;
+                }
+            };
+            match route(frame, tenants, &mut tenant_queue, reply_tx) {
+                Routed::Ok => {}
+                Routed::Closed => return,
+            }
+        }
+    }
+}
+
+enum Routed {
+    Ok,
+    Closed,
+}
+
+fn route(
+    frame: Frame,
+    tenants: &Tenants,
+    tenant_queue: &mut Option<SyncSender<TenantWork>>,
+    reply_tx: &SyncSender<Frame>,
+) -> Routed {
+    let corr = frame.corr();
+    // Hello (re)binds the connection's tenant; everything else requires
+    // a prior Hello.
+    if let Frame::Hello { tenant, .. } = &frame {
+        match tenants.sender(tenant) {
+            Some(sender) => *tenant_queue = Some(sender),
+            None => {
+                let reply = Frame::Err {
+                    corr,
+                    error: WireError::UnknownTenant {
+                        tenant: tenant.clone(),
+                    },
+                };
+                return if reply_tx.send(reply).is_ok() {
+                    Routed::Ok
+                } else {
+                    Routed::Closed
+                };
+            }
+        }
+    }
+    let Some(queue) = tenant_queue.as_ref() else {
+        let reply = Frame::Err {
+            corr,
+            error: WireError::Protocol {
+                detail: "Hello must precede other frames".into(),
+            },
+        };
+        return if reply_tx.send(reply).is_ok() {
+            Routed::Ok
+        } else {
+            Routed::Closed
+        };
+    };
+    // Blocking send = per-tenant backpressure: a saturated tenant stalls
+    // this reader, the socket stops draining, TCP pushes back.
+    let work = TenantWork {
+        frame,
+        reply: reply_tx.clone(),
+    };
+    if queue.send(work).is_err() {
+        // Dispatcher gone: the server is shutting down.
+        return Routed::Closed;
+    }
+    Routed::Ok
+}
+
+/// The reply sent for an undecodable stream (no request to attribute it
+/// to, so `corr` 0).
+fn framing_reply(e: FrameError) -> Frame {
+    let error = match e {
+        FrameError::Version { got } => WireError::Version {
+            min: WIRE_VERSION,
+            max: WIRE_VERSION,
+            got,
+        },
+        other => WireError::Protocol {
+            detail: other.to_string(),
+        },
+    };
+    Frame::Err { corr: 0, error }
+}

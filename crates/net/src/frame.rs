@@ -1,0 +1,536 @@
+//! Message-level payloads of the wire protocol.
+//!
+//! A [`Frame`] is one protocol message; [`Frame::encode_payload`] /
+//! [`Frame::decode_payload`] convert it to/from the versioned payload
+//! bytes that travel inside the length-prefixed, CRC-checksummed frame
+//! envelope (see [`codec`](crate::codec)).
+//!
+//! ```text
+//! payload := [ version : u8 = 1 ][ tag : u8 ][ body ]
+//! ```
+//!
+//! The body reuses the service crate's little-endian codec primitives,
+//! so a [`ReportRequest`], [`UserResponse`] or [`RoundEstimate`] has
+//! **exactly one** binary form across the WAL and the wire — floats as
+//! IEEE-754 bit patterns, which is what makes a network round's estimate
+//! bit-identical to an in-process one.
+//!
+//! Every request carries a client-chosen correlation id (`corr`),
+//! echoed verbatim in the matching `Ack`/`Err`, so clients can pipeline
+//! requests and still pair responses.
+
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+use ldp_ids::CoreError;
+use ldp_service::codec::{
+    put_estimate, put_request, put_response, put_str, put_u32, put_u64, take_estimate,
+    take_request, take_response, Cursor,
+};
+
+use crate::error::FrameError;
+
+/// The one wire version this implementation speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: open (or resume) a tenant session. Must be the
+    /// first frame on every connection.
+    Hello {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// The tenant to attach to.
+        tenant: String,
+        /// `Some(session)` resumes an existing session after a
+        /// disconnect; `None` creates a fresh one.
+        resume: Option<u64>,
+    },
+    /// Client → server: open collection round `request.round` (the
+    /// idempotent [`open_round_at`](ldp_service::IngestService::open_round_at)).
+    OpenRound {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// The session the round belongs to.
+        session: u64,
+        /// The full round request (round id, timestamp, oracle, ε,
+        /// domain) — replaying it after a lost ack is a no-op.
+        request: ReportRequest,
+    },
+    /// Client → server: one sequenced report delta (the idempotent
+    /// [`submit_batch_at`](ldp_service::IngestService::submit_batch_at)).
+    SubmitBatch {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// The session the delta belongs to.
+        session: u64,
+        /// The open round the responses target.
+        round: u64,
+        /// The session's write-ahead sequence number of this delta;
+        /// replays deduplicate on it.
+        seq: u64,
+        /// The perturbed responses.
+        responses: Vec<UserResponse>,
+    },
+    /// Client → server: close round `round` and return its estimate
+    /// (the idempotent
+    /// [`close_round_at`](ldp_service::IngestService::close_round_at)).
+    CloseRound {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// The session the round belongs to.
+        session: u64,
+        /// The round to close; re-closing the last closed round returns
+        /// the original estimate bit for bit.
+        round: u64,
+    },
+    /// Server → client: the positive reply to one request.
+    Ack {
+        /// The request's correlation id.
+        corr: u64,
+        /// The request-specific result.
+        body: AckBody,
+    },
+    /// Server → client: the typed rejection of one request.
+    Err {
+        /// The request's correlation id (0 when the failure is not
+        /// attributable to a decoded request, e.g. a framing error).
+        corr: u64,
+        /// Why the request was rejected.
+        error: WireError,
+    },
+}
+
+/// The payload of an [`Frame::Ack`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AckBody {
+    /// Reply to [`Frame::Hello`]: the attached session and its
+    /// sequencing state (everything a resuming client needs).
+    Session {
+        /// The session's raw id.
+        session: u64,
+        /// The round id the next `OpenRound` must name.
+        next_round: u64,
+        /// The sequence number the next `SubmitBatch` must carry.
+        next_seq: u64,
+        /// The currently open round, if the session has one.
+        open_round: Option<u64>,
+    },
+    /// Reply to [`Frame::OpenRound`]: the round request as the server
+    /// recorded it.
+    Opened {
+        /// The acknowledged round request.
+        request: ReportRequest,
+    },
+    /// Reply to [`Frame::SubmitBatch`]: the delta is durable (per the
+    /// tenant's sync discipline) and folded.
+    Submitted {
+        /// The sequence number the server expects next — a resuming
+        /// client trims its replay queue below this.
+        next_seq: u64,
+    },
+    /// Reply to [`Frame::CloseRound`]: the round's estimate,
+    /// bit-identical to an in-process close over the same reports.
+    Closed {
+        /// The round estimate.
+        estimate: RoundEstimate,
+    },
+}
+
+/// A typed rejection travelling in an [`Frame::Err`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The connection spoke a wire version outside the served range.
+    Version {
+        /// Lowest version the server accepts.
+        min: u8,
+        /// Highest version the server accepts.
+        max: u8,
+        /// The version the client sent.
+        got: u8,
+    },
+    /// The `Hello` named a tenant the registry does not host.
+    UnknownTenant {
+        /// The unknown tenant id.
+        tenant: String,
+    },
+    /// The request referenced a session that was never created or has
+    /// ended.
+    UnknownSession {
+        /// The unknown session's raw id.
+        session: u64,
+    },
+    /// An operation requiring no open round arrived while one is open.
+    SessionBusy {
+        /// The busy session.
+        session: u64,
+        /// The round still open on it.
+        round: u64,
+    },
+    /// The request named a round other than the one the session is at.
+    StaleRound {
+        /// The round the session expected.
+        expected: u64,
+        /// The round the request carried.
+        got: u64,
+    },
+    /// A submit/close arrived with no collection round open.
+    NoOpenRound,
+    /// A submit skipped ahead of the session's write-ahead sequence.
+    SequenceGap {
+        /// The next sequence number the session accepts.
+        expected: u64,
+        /// The sequence number the submit carried.
+        got: u64,
+    },
+    /// The ingest service failed internally (WAL I/O, invalid oracle
+    /// parameters, …).
+    Service {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The peer broke the conversation's protocol (frame before
+    /// `Hello`, a server-only frame sent to the server, …).
+    Protocol {
+        /// What went out of step.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Version { min, max, got } => {
+                write!(f, "wire version {got} unsupported (serving {min}..={max})")
+            }
+            WireError::UnknownTenant { tenant } => write!(f, "tenant {tenant:?} is not hosted"),
+            WireError::UnknownSession { session } => {
+                write!(f, "session {session} was never created or has ended")
+            }
+            WireError::SessionBusy { session, round } => {
+                write!(f, "session {session} still has round {round} open")
+            }
+            WireError::StaleRound { expected, got } => {
+                write!(
+                    f,
+                    "request for stale round {got}; round {expected} expected"
+                )
+            }
+            WireError::NoOpenRound => write!(f, "no collection round is open"),
+            WireError::SequenceGap { expected, got } => write!(
+                f,
+                "submission sequence {got} skips ahead; next accepted is {expected}"
+            ),
+            WireError::Service { detail } => write!(f, "service failure: {detail}"),
+            WireError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&CoreError> for WireError {
+    fn from(e: &CoreError) -> Self {
+        match e {
+            CoreError::UnknownTenant { tenant } => WireError::UnknownTenant {
+                tenant: tenant.clone(),
+            },
+            CoreError::UnknownSession { session } => {
+                WireError::UnknownSession { session: *session }
+            }
+            CoreError::SessionBusy { session, round } => WireError::SessionBusy {
+                session: *session,
+                round: *round,
+            },
+            CoreError::StaleRound { expected, got } => WireError::StaleRound {
+                expected: *expected,
+                got: *got,
+            },
+            CoreError::NoOpenRound => WireError::NoOpenRound,
+            CoreError::SequenceGap { expected, got } => WireError::SequenceGap {
+                expected: *expected,
+                got: *got,
+            },
+            other => WireError::Service {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_OPEN_ROUND: u8 = 2;
+const TAG_SUBMIT_BATCH: u8 = 3;
+const TAG_CLOSE_ROUND: u8 = 4;
+const TAG_ACK: u8 = 5;
+const TAG_ERR: u8 = 6;
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+fn take_opt_u64(cur: &mut Cursor<'_>) -> Result<Option<u64>, String> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.u64()?)),
+        tag => Err(format!("unknown option tag {tag}")),
+    }
+}
+
+impl Frame {
+    /// The correlation id this frame carries.
+    pub fn corr(&self) -> u64 {
+        match self {
+            Frame::Hello { corr, .. }
+            | Frame::OpenRound { corr, .. }
+            | Frame::SubmitBatch { corr, .. }
+            | Frame::CloseRound { corr, .. }
+            | Frame::Ack { corr, .. }
+            | Frame::Err { corr, .. } => *corr,
+        }
+    }
+
+    /// Encode into the versioned payload bytes (no frame envelope).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(WIRE_VERSION);
+        match self {
+            Frame::Hello {
+                corr,
+                tenant,
+                resume,
+            } => {
+                out.push(TAG_HELLO);
+                put_u64(&mut out, *corr);
+                put_str(&mut out, tenant);
+                put_opt_u64(&mut out, *resume);
+            }
+            Frame::OpenRound {
+                corr,
+                session,
+                request,
+            } => {
+                out.push(TAG_OPEN_ROUND);
+                put_u64(&mut out, *corr);
+                put_u64(&mut out, *session);
+                put_request(&mut out, request);
+            }
+            Frame::SubmitBatch {
+                corr,
+                session,
+                round,
+                seq,
+                responses,
+            } => {
+                out.push(TAG_SUBMIT_BATCH);
+                put_u64(&mut out, *corr);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *round);
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, responses.len() as u32);
+                for response in responses {
+                    put_response(&mut out, response);
+                }
+            }
+            Frame::CloseRound {
+                corr,
+                session,
+                round,
+            } => {
+                out.push(TAG_CLOSE_ROUND);
+                put_u64(&mut out, *corr);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *round);
+            }
+            Frame::Ack { corr, body } => {
+                out.push(TAG_ACK);
+                put_u64(&mut out, *corr);
+                match body {
+                    AckBody::Session {
+                        session,
+                        next_round,
+                        next_seq,
+                        open_round,
+                    } => {
+                        out.push(0);
+                        put_u64(&mut out, *session);
+                        put_u64(&mut out, *next_round);
+                        put_u64(&mut out, *next_seq);
+                        put_opt_u64(&mut out, *open_round);
+                    }
+                    AckBody::Opened { request } => {
+                        out.push(1);
+                        put_request(&mut out, request);
+                    }
+                    AckBody::Submitted { next_seq } => {
+                        out.push(2);
+                        put_u64(&mut out, *next_seq);
+                    }
+                    AckBody::Closed { estimate } => {
+                        out.push(3);
+                        put_estimate(&mut out, estimate);
+                    }
+                }
+            }
+            Frame::Err { corr, error } => {
+                out.push(TAG_ERR);
+                put_u64(&mut out, *corr);
+                match error {
+                    WireError::Version { min, max, got } => {
+                        out.push(0);
+                        out.push(*min);
+                        out.push(*max);
+                        out.push(*got);
+                    }
+                    WireError::UnknownTenant { tenant } => {
+                        out.push(1);
+                        put_str(&mut out, tenant);
+                    }
+                    WireError::UnknownSession { session } => {
+                        out.push(2);
+                        put_u64(&mut out, *session);
+                    }
+                    WireError::SessionBusy { session, round } => {
+                        out.push(3);
+                        put_u64(&mut out, *session);
+                        put_u64(&mut out, *round);
+                    }
+                    WireError::StaleRound { expected, got } => {
+                        out.push(4);
+                        put_u64(&mut out, *expected);
+                        put_u64(&mut out, *got);
+                    }
+                    WireError::NoOpenRound => out.push(5),
+                    WireError::SequenceGap { expected, got } => {
+                        out.push(6);
+                        put_u64(&mut out, *expected);
+                        put_u64(&mut out, *got);
+                    }
+                    WireError::Service { detail } => {
+                        out.push(7);
+                        put_str(&mut out, detail);
+                    }
+                    WireError::Protocol { detail } => {
+                        out.push(8);
+                        put_str(&mut out, detail);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`encode_payload`](Self::encode_payload).
+    ///
+    /// Never panics: any defect is a typed [`FrameError`].
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, FrameError> {
+        let malformed = |detail: String| FrameError::Malformed { detail };
+        let mut cur = Cursor::new(payload);
+        let version = cur.u8().map_err(malformed)?;
+        if version != WIRE_VERSION {
+            return Err(FrameError::Version { got: version });
+        }
+        let tag = cur.u8().map_err(malformed)?;
+        let frame = (|| -> Result<Frame, String> {
+            let corr = cur.u64()?;
+            Ok(match tag {
+                TAG_HELLO => Frame::Hello {
+                    corr,
+                    tenant: cur.str()?,
+                    resume: take_opt_u64(&mut cur)?,
+                },
+                TAG_OPEN_ROUND => Frame::OpenRound {
+                    corr,
+                    session: cur.u64()?,
+                    request: take_request(&mut cur)?,
+                },
+                TAG_SUBMIT_BATCH => {
+                    let session = cur.u64()?;
+                    let round = cur.u64()?;
+                    let seq = cur.u64()?;
+                    let n = cur.u32()? as usize;
+                    if n > payload.len() {
+                        return Err(format!("response count {n} exceeds payload"));
+                    }
+                    let mut responses = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        responses.push(take_response(&mut cur)?);
+                    }
+                    Frame::SubmitBatch {
+                        corr,
+                        session,
+                        round,
+                        seq,
+                        responses,
+                    }
+                }
+                TAG_CLOSE_ROUND => Frame::CloseRound {
+                    corr,
+                    session: cur.u64()?,
+                    round: cur.u64()?,
+                },
+                TAG_ACK => {
+                    let body = match cur.u8()? {
+                        0 => AckBody::Session {
+                            session: cur.u64()?,
+                            next_round: cur.u64()?,
+                            next_seq: cur.u64()?,
+                            open_round: take_opt_u64(&mut cur)?,
+                        },
+                        1 => AckBody::Opened {
+                            request: take_request(&mut cur)?,
+                        },
+                        2 => AckBody::Submitted {
+                            next_seq: cur.u64()?,
+                        },
+                        3 => AckBody::Closed {
+                            estimate: take_estimate(&mut cur)?,
+                        },
+                        tag => return Err(format!("unknown ack tag {tag}")),
+                    };
+                    Frame::Ack { corr, body }
+                }
+                TAG_ERR => {
+                    let error = match cur.u8()? {
+                        0 => WireError::Version {
+                            min: cur.u8()?,
+                            max: cur.u8()?,
+                            got: cur.u8()?,
+                        },
+                        1 => WireError::UnknownTenant { tenant: cur.str()? },
+                        2 => WireError::UnknownSession {
+                            session: cur.u64()?,
+                        },
+                        3 => WireError::SessionBusy {
+                            session: cur.u64()?,
+                            round: cur.u64()?,
+                        },
+                        4 => WireError::StaleRound {
+                            expected: cur.u64()?,
+                            got: cur.u64()?,
+                        },
+                        5 => WireError::NoOpenRound,
+                        6 => WireError::SequenceGap {
+                            expected: cur.u64()?,
+                            got: cur.u64()?,
+                        },
+                        7 => WireError::Service { detail: cur.str()? },
+                        8 => WireError::Protocol { detail: cur.str()? },
+                        tag => return Err(format!("unknown error tag {tag}")),
+                    };
+                    Frame::Err { corr, error }
+                }
+                tag => return Err(format!("unknown frame tag {tag}")),
+            })
+        })()
+        .map_err(malformed)?;
+        cur.finish().map_err(malformed)?;
+        Ok(frame)
+    }
+}

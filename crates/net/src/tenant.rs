@@ -1,0 +1,270 @@
+//! Per-tenant dispatchers: bounded channels between connections and
+//! each tenant's [`IngestService`].
+//!
+//! Every registered tenant gets one dispatcher thread fed by a bounded
+//! `sync_channel`. Connections decode frames and `send` them here; a
+//! full queue blocks the connection's reader, which stops draining its
+//! socket, which fills the kernel buffers, which back-pressures the
+//! client through TCP flow control — the same end-to-end backpressure
+//! discipline the worker pool applies inside the service, extended to
+//! the wire.
+//!
+//! Routing all of a tenant's service calls through one thread also
+//! keeps per-connection request/reply order trivially FIFO: replies are
+//! produced in the order the connection sent requests, so clients can
+//! pipeline without a reorder buffer.
+
+use crate::frame::{AckBody, Frame, WireError};
+use ldp_service::registry::TenantRegistry;
+use ldp_service::{IngestService, SessionId};
+use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One decoded request frame plus the reply lane of the connection it
+/// arrived on.
+pub struct TenantWork {
+    /// The request frame (already validated as a client→server frame).
+    pub frame: Frame,
+    /// The connection's outbound frame queue. A send failure means the
+    /// connection is gone; the reply is then dropped.
+    pub reply: SyncSender<Frame>,
+}
+
+/// The running dispatcher set: tenant id → its work queue.
+pub struct Tenants {
+    senders: HashMap<String, SyncSender<TenantWork>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Tenants {
+    /// Spawn one dispatcher per tenant currently in `registry`.
+    ///
+    /// The tenant set is snapshotted here: tenants registered after the
+    /// server starts are not served (restart the server to pick them
+    /// up).
+    pub fn start(registry: &TenantRegistry, queue_depth: usize) -> Tenants {
+        let mut senders = HashMap::new();
+        let mut handles = Vec::new();
+        for id in registry.tenant_ids() {
+            let service = registry.lookup(&id).expect("snapshotted id resolves");
+            let (tx, rx) = sync_channel::<TenantWork>(queue_depth);
+            let name = format!("tenant-{id}");
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || {
+                    // Drains until every connection's sender is dropped
+                    // (server shutdown), then exits — graceful drain.
+                    while let Ok(work) = rx.recv() {
+                        let reply = dispatch(&service, work.frame);
+                        let _ = work.reply.send(reply);
+                    }
+                })
+                .expect("spawn tenant dispatcher");
+            senders.insert(id, tx);
+            handles.push(handle);
+        }
+        Tenants { senders, handles }
+    }
+
+    /// The work queue of `tenant`, if hosted.
+    pub fn sender(&self, tenant: &str) -> Option<SyncSender<TenantWork>> {
+        self.senders.get(tenant).cloned()
+    }
+
+    /// Hosted tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.senders.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Drop the work queues and join every dispatcher after it drains.
+    pub fn shutdown(self) {
+        drop(self.senders);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Execute one request against a tenant's service, producing its
+/// `Ack`/`Err` reply frame.
+pub fn dispatch(service: &Arc<IngestService>, frame: Frame) -> Frame {
+    let corr = frame.corr();
+    match execute(service, frame) {
+        Ok(body) => Frame::Ack { corr, body },
+        Err(error) => Frame::Err { corr, error },
+    }
+}
+
+fn execute(service: &Arc<IngestService>, frame: Frame) -> Result<AckBody, WireError> {
+    match frame {
+        Frame::Hello { resume, .. } => {
+            let session = match resume {
+                Some(raw) => SessionId::from_raw(raw),
+                None => service.create_session().map_err(|e| WireError::from(&e))?,
+            };
+            let status = service.status(session).map_err(|e| WireError::from(&e))?;
+            Ok(AckBody::Session {
+                session: session.raw(),
+                next_round: status.next_round,
+                next_seq: status.next_seq,
+                open_round: status.open_round,
+            })
+        }
+        Frame::OpenRound {
+            session, request, ..
+        } => {
+            let session = SessionId::from_raw(session);
+            let request = service
+                .open_round_at(
+                    session,
+                    request.round,
+                    request.t,
+                    request.fo,
+                    request.epsilon,
+                    request.domain_size,
+                )
+                .map_err(|e| WireError::from(&e))?;
+            Ok(AckBody::Opened { request })
+        }
+        Frame::SubmitBatch {
+            session,
+            seq,
+            responses,
+            ..
+        } => {
+            let session = SessionId::from_raw(session);
+            service
+                .submit_batch_at(session, seq, responses)
+                .map_err(|e| WireError::from(&e))?;
+            let next_seq = service.next_seq(session).map_err(|e| WireError::from(&e))?;
+            Ok(AckBody::Submitted { next_seq })
+        }
+        Frame::CloseRound { session, round, .. } => {
+            let session = SessionId::from_raw(session);
+            let estimate = service
+                .close_round_at(session, round)
+                .map_err(|e| WireError::from(&e))?;
+            Ok(AckBody::Closed { estimate })
+        }
+        Frame::Ack { .. } | Frame::Err { .. } => Err(WireError::Protocol {
+            detail: "server-only frame sent to server".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_fo::FoKind;
+    use ldp_ids::protocol::ReportRequest;
+    use ldp_service::{ServiceConfig, TenantSpec};
+
+    fn registry() -> TenantRegistry {
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantSpec::in_memory(
+                "acme",
+                ServiceConfig::with_threads(1),
+            ))
+            .unwrap();
+        registry
+    }
+
+    #[test]
+    fn dispatch_runs_a_full_round() {
+        let registry = registry();
+        let service = registry.lookup("acme").unwrap();
+        let hello = dispatch(
+            &service,
+            Frame::Hello {
+                corr: 1,
+                tenant: "acme".into(),
+                resume: None,
+            },
+        );
+        let Frame::Ack {
+            corr: 1,
+            body: AckBody::Session { session, .. },
+        } = hello
+        else {
+            panic!("unexpected hello reply: {hello:?}");
+        };
+        let open = dispatch(
+            &service,
+            Frame::OpenRound {
+                corr: 2,
+                session,
+                request: ReportRequest {
+                    round: 0,
+                    t: 0,
+                    fo: FoKind::Grr,
+                    epsilon: 8.0,
+                    domain_size: 2,
+                },
+            },
+        );
+        assert!(
+            matches!(
+                open,
+                Frame::Ack {
+                    corr: 2,
+                    body: AckBody::Opened { .. }
+                }
+            ),
+            "{open:?}"
+        );
+        let close = dispatch(
+            &service,
+            Frame::CloseRound {
+                corr: 3,
+                session,
+                round: 0,
+            },
+        );
+        assert!(
+            matches!(
+                close,
+                Frame::Ack {
+                    corr: 3,
+                    body: AckBody::Closed { .. }
+                }
+            ),
+            "{close:?}"
+        );
+    }
+
+    #[test]
+    fn service_errors_become_typed_wire_errors() {
+        let registry = registry();
+        let service = registry.lookup("acme").unwrap();
+        let reply = dispatch(
+            &service,
+            Frame::CloseRound {
+                corr: 9,
+                session: 404,
+                round: 0,
+            },
+        );
+        assert_eq!(
+            reply,
+            Frame::Err {
+                corr: 9,
+                error: WireError::UnknownSession { session: 404 }
+            }
+        );
+    }
+
+    #[test]
+    fn tenants_snapshot_serves_registered_ids_only() {
+        let registry = registry();
+        let tenants = Tenants::start(&registry, 4);
+        assert!(tenants.sender("acme").is_some());
+        assert!(tenants.sender("ghost").is_none());
+        assert_eq!(tenants.tenant_ids(), vec!["acme"]);
+        tenants.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! Property tests for the wire codec: arbitrary frames round-trip
+//! losslessly (floats bit-for-bit), and arbitrary corruption — truncated
+//! frames, flipped bytes, oversized length prefixes, unknown versions —
+//! yields typed [`FrameError`]s, never a panic and never a garbage
+//! frame.
+
+use ldp_fo::{FoKind, Report};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+use ldp_net::{
+    decode_frame, encode_frame, AckBody, Frame, FrameBuffer, FrameError, WireError, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use ldp_service::codec::crc32;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Finite floats with non-trivial mantissas (NaN excluded so frame
+/// equality via `PartialEq` stays meaningful; bit-exactness is asserted
+/// through byte-level re-encoding anyway).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (any::<i64>(), 1i64..10_000).prop_map(|(num, den)| num as f64 / den as f64)
+}
+
+fn arb_report() -> impl Strategy<Value = Report> {
+    prop_oneof![
+        any::<u32>().prop_map(Report::Grr),
+        (vec(any::<u64>(), 0..4), any::<u32>()).prop_map(|(bits, len)| Report::Oue { bits, len }),
+        (any::<u64>(), any::<u32>()).prop_map(|(seed, bucket)| Report::Olh { seed, bucket }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = UserResponse> {
+    prop_oneof![
+        (any::<u64>(), arb_report())
+            .prop_map(|(round, report)| UserResponse::Report { round, report }),
+        (any::<u64>(), arb_f64(), arb_f64()).prop_map(|(round, requested, available)| {
+            UserResponse::Refused {
+                round,
+                requested,
+                available,
+            }
+        }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = ReportRequest> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::sample::select(&FoKind::ALL),
+        arb_f64(),
+        2usize..512,
+    )
+        .prop_map(|(round, t, fo, epsilon, domain_size)| ReportRequest {
+            round,
+            t,
+            fo,
+            epsilon,
+            domain_size,
+        })
+}
+
+fn arb_estimate() -> impl Strategy<Value = RoundEstimate> {
+    (vec(arb_f64(), 0..9), any::<u64>(), arb_f64()).prop_map(|(frequencies, reporters, epsilon)| {
+        RoundEstimate {
+            frequencies,
+            reporters,
+            epsilon,
+        }
+    })
+}
+
+fn arb_tenant() -> impl Strategy<Value = String> {
+    vec(
+        proptest::sample::select(&['a', 'Z', '3', '.', '_', '-']),
+        1..20,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(min, max, got)| WireError::Version {
+            min,
+            max,
+            got
+        }),
+        arb_tenant().prop_map(|tenant| WireError::UnknownTenant { tenant }),
+        any::<u64>().prop_map(|session| WireError::UnknownSession { session }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(session, round)| WireError::SessionBusy { session, round }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(expected, got)| WireError::StaleRound { expected, got }),
+        Just(WireError::NoOpenRound),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(expected, got)| WireError::SequenceGap { expected, got }),
+        arb_tenant().prop_map(|detail| WireError::Service { detail }),
+        arb_tenant().prop_map(|detail| WireError::Protocol { detail }),
+    ]
+}
+
+fn arb_ack_body() -> impl Strategy<Value = AckBody> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(session, next_round, next_seq, open)| AckBody::Session {
+                session,
+                next_round,
+                next_seq,
+                open_round: open.then_some(next_round),
+            }
+        ),
+        arb_request().prop_map(|request| AckBody::Opened { request }),
+        any::<u64>().prop_map(|next_seq| AckBody::Submitted { next_seq }),
+        arb_estimate().prop_map(|estimate| AckBody::Closed { estimate }),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u64>(), arb_tenant(), any::<u64>(), any::<bool>()).prop_map(
+            |(corr, tenant, raw, resume)| Frame::Hello {
+                corr,
+                tenant,
+                resume: resume.then_some(raw),
+            }
+        ),
+        (any::<u64>(), any::<u64>(), arb_request()).prop_map(|(corr, session, request)| {
+            Frame::OpenRound {
+                corr,
+                session,
+                request,
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            vec(arb_response(), 0..12),
+        )
+            .prop_map(
+                |(corr, session, round, seq, responses)| Frame::SubmitBatch {
+                    corr,
+                    session,
+                    round,
+                    seq,
+                    responses,
+                }
+            ),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(corr, session, round)| {
+            Frame::CloseRound {
+                corr,
+                session,
+                round,
+            }
+        }),
+        (any::<u64>(), arb_ack_body()).prop_map(|(corr, body)| Frame::Ack { corr, body }),
+        (any::<u64>(), arb_wire_error()).prop_map(|(corr, error)| Frame::Err { corr, error }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Encode → decode is lossless and consumes exactly the envelope;
+    /// re-encoding the decoded frame reproduces the original bytes, so
+    /// floats survive bit-for-bit.
+    #[test]
+    fn frames_round_trip_bit_exactly(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        let (decoded, used) = decode_frame(&bytes).expect("valid frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(encode_frame(&decoded), bytes);
+    }
+
+    /// Every strict prefix of a valid frame is a typed `Truncated` error
+    /// with an honest byte count — and never a panic.
+    #[test]
+    fn every_truncation_is_a_typed_error(frame in arb_frame()) {
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Err(FrameError::Truncated { needed, have }) => {
+                    prop_assert_eq!(have, cut);
+                    prop_assert!(needed > have, "needed {} !> have {}", needed, have);
+                    prop_assert!(needed <= bytes.len());
+                }
+                other => prop_assert!(false, "cut {} decoded to {:?}", cut, other),
+            }
+        }
+    }
+
+    /// Flipping any single byte of the envelope never panics: the result
+    /// is a typed error (almost always `Checksum`; a flip inside the
+    /// length prefix surfaces as `Truncated`/`Oversize` first).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in arb_frame(),
+        pos in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= flip;
+        match decode_frame(&bytes) {
+            Err(
+                FrameError::Truncated { .. }
+                | FrameError::Oversize { .. }
+                | FrameError::Checksum { .. }
+                | FrameError::Version { .. }
+                | FrameError::Malformed { .. },
+            ) => {}
+            Ok(_) => prop_assert!(false, "corrupt byte {} passed the checksum", pos),
+        }
+    }
+
+    /// A length prefix past `MAX_FRAME_LEN` is rejected *before* any
+    /// buffering, regardless of what follows.
+    #[test]
+    fn oversized_length_prefix_is_rejected(extra in any::<u32>(), corr in any::<u64>()) {
+        let len = MAX_FRAME_LEN as u64 + 1 + (extra as u64 % 1024);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(len as u32).to_le_bytes());
+        bytes.extend_from_slice(&corr.to_le_bytes()); // junk CRC + start of payload
+        match decode_frame(&bytes) {
+            Err(FrameError::Oversize { len: got, max }) => {
+                prop_assert_eq!(got, len as u32);
+                prop_assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => prop_assert!(false, "oversize prefix decoded to {:?}", other),
+        }
+    }
+
+    /// A well-formed envelope (valid CRC) carrying an unsupported
+    /// protocol version is a typed `Version` error.
+    #[test]
+    fn unknown_version_is_a_typed_error(frame in arb_frame(), bump in 1u8..=255) {
+        let encoded = encode_frame(&frame);
+        let mut payload = encoded[8..].to_vec();
+        payload[0] = WIRE_VERSION.wrapping_add(bump);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match decode_frame(&bytes) {
+            Err(FrameError::Version { got }) => {
+                prop_assert_eq!(got, WIRE_VERSION.wrapping_add(bump));
+            }
+            other => prop_assert!(false, "unknown version decoded to {:?}", other),
+        }
+    }
+
+    /// A `FrameBuffer` fed a frame stream in arbitrary chunk sizes
+    /// reproduces exactly the original frames, in order.
+    #[test]
+    fn frame_buffer_reassembles_any_chunking(
+        frames in vec(arb_frame(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode_frame(frame));
+        }
+        let mut fb = FrameBuffer::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            fb.feed(piece);
+            while let Some(frame) = fb.next_frame().expect("valid stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+
+    /// Decoding arbitrary garbage bytes never panics; any `Ok` is a
+    /// frame whose re-encoding round-trips (i.e. a genuine accidental
+    /// frame, not memory salad).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        if let Ok((frame, used)) = decode_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
+            let reencoded = encode_frame(&frame);
+            prop_assert_eq!(reencoded.as_slice(), &bytes[..used]);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Binary codec primitives shared by the write-ahead log and the
+//! network wire protocol (`ldp_net`).
+//!
+//! Everything is fixed little-endian; floats travel as IEEE-754 bit
+//! patterns so values decoded from a WAL frame or a network frame are
+//! **bit-identical** to what was encoded — the property every
+//! "recovered/replayed estimates match exactly" guarantee in this
+//! workspace rests on.
+//!
+//! Decoders are bounds-checked and return `Err(String)` describing the
+//! first malformed byte; they never panic on hostile input. Callers wrap
+//! the message into their own typed error
+//! ([`CoreError::Corrupt`](ldp_ids::CoreError::Corrupt) for durability
+//! files, `FrameError::Malformed` on the wire).
+
+use ldp_fo::{FoKind, Report};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{ReportRequest, UserResponse};
+
+/// Append a `u32` in little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string (`u32` byte length + bytes).
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a frequency-oracle kind as its stable one-byte tag.
+pub fn put_fo(out: &mut Vec<u8>, fo: FoKind) {
+    out.push(match fo {
+        FoKind::Grr => 0,
+        FoKind::Oue => 1,
+        FoKind::Olh => 2,
+        FoKind::Adaptive => 3,
+    });
+}
+
+/// Append a [`ReportRequest`] (round, t, oracle, ε, domain).
+pub fn put_request(out: &mut Vec<u8>, request: &ReportRequest) {
+    put_u64(out, request.round);
+    put_u64(out, request.t);
+    put_fo(out, request.fo);
+    put_f64(out, request.epsilon);
+    put_u32(out, request.domain_size as u32);
+}
+
+/// Append one perturbed [`Report`].
+pub fn put_report(out: &mut Vec<u8>, report: &Report) {
+    match report {
+        Report::Grr(v) => {
+            out.push(0);
+            put_u32(out, *v);
+        }
+        Report::Oue { bits, len } => {
+            out.push(1);
+            put_u32(out, *len);
+            put_u32(out, bits.len() as u32);
+            for word in bits {
+                put_u64(out, *word);
+            }
+        }
+        Report::Olh { seed, bucket } => {
+            out.push(2);
+            put_u64(out, *seed);
+            put_u32(out, *bucket);
+        }
+    }
+}
+
+/// Append one [`UserResponse`] (report or refusal).
+pub fn put_response(out: &mut Vec<u8>, response: &UserResponse) {
+    match response {
+        UserResponse::Report { round, report } => {
+            out.push(0);
+            put_u64(out, *round);
+            put_report(out, report);
+        }
+        UserResponse::Refused {
+            round,
+            requested,
+            available,
+        } => {
+            out.push(1);
+            put_u64(out, *round);
+            put_f64(out, *requested);
+            put_f64(out, *available);
+        }
+    }
+}
+
+/// Append a [`RoundEstimate`] (bit-exact frequencies).
+pub fn put_estimate(out: &mut Vec<u8>, estimate: &RoundEstimate) {
+    put_u64(out, estimate.reporters);
+    put_f64(out, estimate.epsilon);
+    put_u32(out, estimate.frequencies.len() as u32);
+    for f in &estimate.frequencies {
+        put_f64(out, *f);
+    }
+}
+
+/// A bounds-checked little-endian reader over a payload.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err(format!(
+                "payload truncated: needed {n} bytes at offset {}, {} left",
+                self.at,
+                self.bytes.len() - self.at
+            ));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string written by [`put_str`].
+    pub fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.at != self.bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after record",
+                self.bytes.len() - self.at
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Read a frequency-oracle kind written by [`put_fo`].
+pub fn take_fo(cur: &mut Cursor<'_>) -> Result<FoKind, String> {
+    match cur.u8()? {
+        0 => Ok(FoKind::Grr),
+        1 => Ok(FoKind::Oue),
+        2 => Ok(FoKind::Olh),
+        3 => Ok(FoKind::Adaptive),
+        tag => Err(format!("unknown oracle tag {tag}")),
+    }
+}
+
+/// Read a [`ReportRequest`] written by [`put_request`].
+pub fn take_request(cur: &mut Cursor<'_>) -> Result<ReportRequest, String> {
+    Ok(ReportRequest {
+        round: cur.u64()?,
+        t: cur.u64()?,
+        fo: take_fo(cur)?,
+        epsilon: cur.f64()?,
+        domain_size: cur.u32()? as usize,
+    })
+}
+
+/// Read a [`Report`] written by [`put_report`].
+pub fn take_report(cur: &mut Cursor<'_>) -> Result<Report, String> {
+    match cur.u8()? {
+        0 => Ok(Report::Grr(cur.u32()?)),
+        1 => {
+            let len = cur.u32()?;
+            let words = cur.u32()? as usize;
+            if words > len as usize / 64 + 1 {
+                return Err(format!(
+                    "OUE word count {words} inconsistent with len {len}"
+                ));
+            }
+            let mut bits = Vec::with_capacity(words);
+            for _ in 0..words {
+                bits.push(cur.u64()?);
+            }
+            Ok(Report::Oue { bits, len })
+        }
+        2 => Ok(Report::Olh {
+            seed: cur.u64()?,
+            bucket: cur.u32()?,
+        }),
+        tag => Err(format!("unknown report tag {tag}")),
+    }
+}
+
+/// Read a [`UserResponse`] written by [`put_response`].
+pub fn take_response(cur: &mut Cursor<'_>) -> Result<UserResponse, String> {
+    match cur.u8()? {
+        0 => Ok(UserResponse::Report {
+            round: cur.u64()?,
+            report: take_report(cur)?,
+        }),
+        1 => Ok(UserResponse::Refused {
+            round: cur.u64()?,
+            requested: cur.f64()?,
+            available: cur.f64()?,
+        }),
+        tag => Err(format!("unknown response tag {tag}")),
+    }
+}
+
+/// Read a [`RoundEstimate`] written by [`put_estimate`].
+pub fn take_estimate(cur: &mut Cursor<'_>) -> Result<RoundEstimate, String> {
+    let reporters = cur.u64()?;
+    let epsilon = cur.f64()?;
+    let n = cur.u32()? as usize;
+    let mut frequencies = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        frequencies.push(cur.f64()?);
+    }
+    Ok(RoundEstimate {
+        frequencies,
+        reporters,
+        epsilon,
+    })
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut out = Vec::new();
+        put_str(&mut out, "tenant-α");
+        put_str(&mut out, "");
+        let mut cur = Cursor::new(&out);
+        assert_eq!(cur.str().unwrap(), "tenant-α");
+        assert_eq!(cur.str().unwrap(), "");
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_typed_error() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xFF, 0xFE]);
+        let mut cur = Cursor::new(&out);
+        assert!(cur.str().unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        assert!(cur.u64().unwrap_err().contains("truncated"));
+    }
+}

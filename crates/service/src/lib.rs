@@ -26,8 +26,17 @@
 //!   runs every existing mechanism (LBD/LBA/LPD/LPA/…) over the sharded
 //!   service unchanged, via the core protocol driver's
 //!   [`ReportSink`](ldp_ids::protocol::ReportSink) seam;
+//! * [`registry`] — the [`TenantRegistry`]: tenant id → its own
+//!   [`IngestService`] (own pool sizing, budget bookkeeping, WAL
+//!   directory), the seam the `ldp_net` network frontend dispatches
+//!   into;
+//! * [`codec`] — the shared little-endian binary primitives (bit-exact
+//!   float transport, CRC-32) used by both the WAL and the network
+//!   wire protocol;
 //! * [`wal`] — an append-only, length-prefixed, CRC-checksummed
-//!   write-ahead log of session lifecycle events and report deltas;
+//!   write-ahead log of session lifecycle events and report deltas,
+//!   with leader/follower *group commit* coalescing concurrent
+//!   sessions' fsyncs under [`WalSync::Always`];
 //! * [`recovery`] — periodic atomic snapshots plus WAL replay: a service
 //!   reopened after a crash reconstructs sessions, open-round tallies,
 //!   refusal counters, and budget positions, and re-closed rounds
@@ -63,10 +72,12 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod codec;
 pub mod faults;
 pub mod parallel;
 pub mod pool;
 pub mod recovery;
+pub mod registry;
 pub mod session;
 pub mod shard;
 pub mod wal;
@@ -75,6 +86,7 @@ pub use batch::{Batch, RoundKey, ServiceConfig};
 pub use parallel::{ParallelCollector, ServiceSink};
 pub use pool::WorkerPool;
 pub use recovery::RecoveryReport;
-pub use session::{IngestService, SessionId};
+pub use registry::{TenantRegistry, TenantSpec};
+pub use session::{IngestService, SessionId, SessionStatus};
 pub use shard::{ShardAccumulator, ShardTally};
-pub use wal::{Wal, WalRecord, WalScan, WalSync};
+pub use wal::{Commit, GroupCommit, Wal, WalRecord, WalScan, WalStats, WalSync};

@@ -31,12 +31,13 @@
 //! recovery itself still succeeds.
 
 use crate::batch::RoundKey;
+use crate::codec::{
+    crc32, put_estimate, put_f64, put_request, put_response, put_u32, put_u64, take_estimate,
+    take_request, take_response, Cursor,
+};
 use crate::session::SessionId;
 use crate::shard::{ShardAccumulator, ShardTally};
-use crate::wal::{
-    self, crc32, put_estimate, put_f64, put_request, put_response, put_u32, put_u64, take_estimate,
-    take_request, take_response, Cursor, WalRecord,
-};
+use crate::wal::{self, WalRecord};
 use ldp_fo::{build_oracle, OracleHandle};
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
@@ -742,6 +743,8 @@ mod tests {
                 report: ldp_fo::Report::Grr(2),
             }],
         })
+        .unwrap()
+        .wait()
         .unwrap();
         wal.append(&WalRecord::Reports {
             session: 2,
@@ -752,6 +755,8 @@ mod tests {
                 report: ldp_fo::Report::Grr(0),
             }],
         })
+        .unwrap()
+        .wait()
         .unwrap();
         drop(wal);
 
@@ -811,11 +816,15 @@ mod tests {
             }
         }
         wal.append(&WalRecord::CreateSession { session: 0 })
+            .unwrap()
+            .wait()
             .unwrap();
         wal.append(&WalRecord::OpenRound {
             session: 0,
             request,
         })
+        .unwrap()
+        .wait()
         .unwrap();
         wal.append(&WalRecord::Reports {
             session: 0,
@@ -823,6 +832,8 @@ mod tests {
             seq: 0,
             responses,
         })
+        .unwrap()
+        .wait()
         .unwrap();
         (support, 2)
     }
@@ -844,6 +855,8 @@ mod tests {
             refusals: 1,
             estimate: estimate.clone(),
         })
+        .unwrap()
+        .wait()
         .unwrap();
         drop(wal);
 
@@ -873,6 +886,8 @@ mod tests {
                 epsilon: 2.0,
             },
         })
+        .unwrap()
+        .wait()
         .unwrap();
         drop(wal);
 

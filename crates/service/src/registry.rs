@@ -1,0 +1,220 @@
+//! The multi-tenant collector registry: tenant id → its own
+//! [`IngestService`].
+//!
+//! One network frontend (or any other host) serves many independent
+//! device populations by giving each *tenant* a fully isolated ingest
+//! service — its own worker pool sizing, its own privacy-budget
+//! bookkeeping, and (durably) its own WAL directory. Nothing is shared
+//! between tenants except the process: a slow or crashing tenant cannot
+//! corrupt another's durability files, and estimates stay bit-identical
+//! to running each tenant's traffic through a dedicated service.
+//!
+//! Tenant ids are restricted to a printable wire-safe alphabet
+//! (`[A-Za-z0-9._-]`, 1..=64 bytes) so they can travel in frames and
+//! double as directory names without escaping.
+
+use crate::batch::ServiceConfig;
+use crate::session::IngestService;
+use ldp_ids::CoreError;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, RwLock};
+
+/// Longest accepted tenant id, in bytes.
+pub const MAX_TENANT_ID: usize = 64;
+
+/// Validate a tenant id against the wire-safe alphabet.
+pub fn validate_tenant_id(id: &str) -> Result<(), CoreError> {
+    let invalid = |detail: &str| CoreError::InvalidTenant {
+        tenant: id.chars().take(80).collect(),
+        detail: detail.into(),
+    };
+    if id.is_empty() {
+        return Err(invalid("empty id"));
+    }
+    if id.len() > MAX_TENANT_ID {
+        return Err(invalid("id longer than 64 bytes"));
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return Err(invalid("id must match [A-Za-z0-9._-]+"));
+    }
+    Ok(())
+}
+
+/// Everything needed to stand up one tenant's service.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's wire id (see [`validate_tenant_id`]).
+    pub id: String,
+    /// Pool sizing, batching, sync discipline for this tenant.
+    pub config: ServiceConfig,
+    /// Durability directory; `None` runs the tenant in-memory.
+    pub dir: Option<PathBuf>,
+}
+
+impl TenantSpec {
+    /// An in-memory tenant with the given id and config.
+    pub fn in_memory(id: impl Into<String>, config: ServiceConfig) -> Self {
+        TenantSpec {
+            id: id.into(),
+            config,
+            dir: None,
+        }
+    }
+
+    /// A durable tenant journaling to `dir`.
+    pub fn durable(id: impl Into<String>, config: ServiceConfig, dir: impl Into<PathBuf>) -> Self {
+        TenantSpec {
+            id: id.into(),
+            config,
+            dir: Some(dir.into()),
+        }
+    }
+}
+
+/// The registry mapping tenant id → its [`IngestService`].
+///
+/// Internally synchronized; share it behind an `Arc`. Lookups take a
+/// read lock only, so concurrent connections resolve tenants without
+/// contending with each other.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<IngestService>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TenantRegistry::default()
+    }
+
+    /// Create and register `spec`'s service, returning the new handle.
+    ///
+    /// Duplicate ids are a typed [`CoreError::TenantExists`] — re-homing
+    /// a live tenant would silently fork its budget accounting.
+    pub fn register(&self, spec: TenantSpec) -> Result<Arc<IngestService>, CoreError> {
+        validate_tenant_id(&spec.id)?;
+        // Build the service outside the write lock (durable opens do
+        // recovery I/O), but re-check for a racing duplicate under it.
+        let service = Arc::new(match &spec.dir {
+            Some(dir) => IngestService::open(spec.config, dir)?,
+            None => IngestService::new(spec.config),
+        });
+        let mut tenants = self.tenants.write().unwrap();
+        if tenants.contains_key(&spec.id) {
+            return Err(CoreError::TenantExists { tenant: spec.id });
+        }
+        tenants.insert(spec.id, Arc::clone(&service));
+        Ok(service)
+    }
+
+    /// The service hosting `tenant`, or a typed
+    /// [`CoreError::UnknownTenant`].
+    pub fn lookup(&self, tenant: &str) -> Result<Arc<IngestService>, CoreError> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| CoreError::UnknownTenant {
+                tenant: tenant.into(),
+            })
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.tenants.read().unwrap().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().unwrap().len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.read().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_fo::FoKind;
+
+    #[test]
+    fn register_lookup_and_isolation() {
+        let registry = TenantRegistry::new();
+        let a = registry
+            .register(TenantSpec::in_memory(
+                "acme",
+                ServiceConfig::with_threads(1),
+            ))
+            .unwrap();
+        let b = registry
+            .register(TenantSpec::in_memory(
+                "globex",
+                ServiceConfig::with_threads(1),
+            ))
+            .unwrap();
+        assert_eq!(registry.tenant_ids(), vec!["acme", "globex"]);
+        assert_eq!(registry.len(), 2);
+
+        // Session ids are per-tenant: both start at 0, fully isolated.
+        let sa = a.create_session().unwrap();
+        let sb = b.create_session().unwrap();
+        assert_eq!(sa.raw(), 0);
+        assert_eq!(sb.raw(), 0);
+        a.open_round(sa, 0, FoKind::Grr, 1.0, 2).unwrap();
+        // acme's open round is invisible to globex.
+        assert!(Arc::ptr_eq(&registry.lookup("acme").unwrap(), &a));
+        assert_eq!(b.status(sb).unwrap().open_round, None);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tenants_are_typed_errors() {
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantSpec::in_memory(
+                "acme",
+                ServiceConfig::with_threads(1),
+            ))
+            .unwrap();
+        assert_eq!(
+            registry
+                .register(TenantSpec::in_memory(
+                    "acme",
+                    ServiceConfig::with_threads(1)
+                ))
+                .unwrap_err(),
+            CoreError::TenantExists {
+                tenant: "acme".into()
+            }
+        );
+        assert_eq!(
+            registry.lookup("ghost").unwrap_err(),
+            CoreError::UnknownTenant {
+                tenant: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn tenant_ids_are_validated() {
+        assert!(validate_tenant_id("acme-prod_7.stream").is_ok());
+        for bad in ["", "has space", "sl/ash", "ünïcode", &"x".repeat(65)] {
+            assert!(
+                matches!(
+                    validate_tenant_id(bad),
+                    Err(CoreError::InvalidTenant { .. })
+                ),
+                "{bad:?} should be invalid"
+            );
+        }
+    }
+}

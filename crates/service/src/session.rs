@@ -28,7 +28,13 @@
 //!
 //! 1. **Log before ack.** A record is on disk (per the configured
 //!    [`WalSync`](crate::wal::WalSync) discipline) before the mutation
-//!    it describes is acknowledged to the caller.
+//!    it describes is acknowledged to the caller. Under
+//!    [`WalSync::Always`](crate::wal::WalSync::Always) the fsync is
+//!    *group-committed*: the frame is appended under the state lock
+//!    (fixing its WAL order), but the caller waits for durability
+//!    **after** releasing the lock, so concurrent sessions coalesce
+//!    into one `sync_data` per burst (see
+//!    [`GroupCommit`](crate::wal::GroupCommit)).
 //! 2. **Dispatch under the state lock** (durable mode only). Worker
 //!    inbox FIFO order then guarantees a snapshot's
 //!    [`checkpoint`](crate::pool::WorkerPool::checkpoint) barrier
@@ -49,7 +55,7 @@ use crate::batch::{Batch, RoundKey, ServiceConfig};
 use crate::faults;
 use crate::pool::WorkerPool;
 use crate::recovery::{self, OpenSnapshot, RecoveryReport, SessionSnapshot, SnapshotState};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{Commit, Wal, WalRecord, WalStats};
 use ldp_fo::{build_oracle, FoKind, OracleHandle};
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
@@ -73,6 +79,24 @@ impl SessionId {
     pub fn raw(self) -> u64 {
         self.0
     }
+}
+
+/// A point-in-time view of one session's sequencing state — everything a
+/// reconnecting client needs to resume the idempotent `*_at` call
+/// sequence exactly where the service left off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStatus {
+    /// The round id the next [`IngestService::open_round_at`] must name.
+    pub next_round: u64,
+    /// The sequence number the next
+    /// [`IngestService::submit_batch_at`] must carry.
+    pub next_seq: u64,
+    /// The currently open round, if any.
+    pub open_round: Option<u64>,
+    /// Privacy budget consumed by closed rounds (Σ round ε).
+    pub epsilon_spent: f64,
+    /// Refusals observed across closed rounds.
+    pub refusals: u64,
 }
 
 #[derive(Debug)]
@@ -259,13 +283,16 @@ impl IngestService {
         let mut guard = self.state.lock().unwrap();
         let st = &mut *guard;
         let id = SessionId(st.next_session);
+        let mut commit = Commit::Durable;
         if let Some(d) = st.durable.as_mut() {
-            d.wal.append(&WalRecord::CreateSession { session: id.0 })?;
+            commit = d.wal.append(&WalRecord::CreateSession { session: id.0 })?;
             d.records_since_snapshot += 1;
         }
         st.next_session += 1;
         st.sessions.insert(id, SessionState::default());
         self.maybe_snapshot(st)?;
+        drop(guard);
+        commit.wait()?;
         Ok(id)
     }
 
@@ -344,8 +371,9 @@ impl IngestService {
             epsilon,
             domain_size,
         };
+        let mut commit = Commit::Durable;
         if let Some(d) = st.durable.as_mut() {
-            d.wal.append(&WalRecord::OpenRound {
+            commit = d.wal.append(&WalRecord::OpenRound {
                 session: session.raw(),
                 request: request.clone(),
             })?;
@@ -358,6 +386,8 @@ impl IngestService {
             pending: Vec::with_capacity(self.config.batch_size),
         });
         self.maybe_snapshot(st)?;
+        drop(guard);
+        commit.wait()?;
         Ok(request)
     }
 
@@ -382,17 +412,17 @@ impl IngestService {
                 got: *round,
             });
         }
-        let durable = if let Some(d) = st.durable.as_mut() {
-            d.wal.append(&WalRecord::Reports {
+        let commit = if let Some(d) = st.durable.as_mut() {
+            let commit = d.wal.append(&WalRecord::Reports {
                 session: session.raw(),
                 round: open.request.round,
                 seq: s.next_seq,
                 responses: vec![response.clone()],
             })?;
             d.records_since_snapshot += 1;
-            true
+            Some(commit)
         } else {
-            false
+            None
         };
         s.next_seq += 1;
         open.pending.push(response);
@@ -408,21 +438,25 @@ impl IngestService {
                     Vec::with_capacity(self.config.batch_size),
                 ),
             };
-            if durable {
+            if let Some(commit) = commit {
                 // Under the lock: the snapshot checkpoint barrier must
                 // see every batch that made it to the WAL.
                 faults::hit("service.mid_batch");
                 self.pool.dispatch(batch);
-            } else {
-                // Outside the lock: a saturated pool back-pressures only
-                // this submitter, not every session.
+                self.maybe_snapshot(st)?;
                 drop(guard);
-                self.pool.dispatch(batch);
-                return Ok(());
+                return commit.wait();
             }
+            // Outside the lock: a saturated pool back-pressures only
+            // this submitter, not every session.
+            drop(guard);
+            self.pool.dispatch(batch);
+            return Ok(());
         }
-        if durable {
+        if let Some(commit) = commit {
             self.maybe_snapshot(st)?;
+            drop(guard);
+            commit.wait()?;
         }
         Ok(())
     }
@@ -487,7 +521,7 @@ impl IngestService {
                 });
             }
         }
-        let durable = if let Some(d) = st.durable.as_mut() {
+        let commit = if let Some(d) = st.durable.as_mut() {
             // Move the responses through the record and back: one WAL
             // frame for the whole delta, no clone of the payload.
             let record = WalRecord::Reports {
@@ -496,16 +530,16 @@ impl IngestService {
                 seq: s.next_seq,
                 responses,
             };
-            d.wal.append(&record)?;
+            let commit = d.wal.append(&record)?;
             d.records_since_snapshot += 1;
             let WalRecord::Reports { responses: r, .. } = record else {
                 unreachable!()
             };
             responses = r;
             faults::hit("service.mid_batch");
-            true
+            Some(commit)
         } else {
-            false
+            None
         };
         s.next_seq += 1;
         let key = RoundKey {
@@ -530,7 +564,7 @@ impl IngestService {
             }
             batches.push(chunk);
         }
-        if durable {
+        if let Some(commit) = commit {
             for responses in batches {
                 self.pool.dispatch(Batch {
                     key,
@@ -539,6 +573,8 @@ impl IngestService {
                 });
             }
             self.maybe_snapshot(st)?;
+            drop(guard);
+            commit.wait()?;
         } else {
             drop(guard);
             for responses in batches {
@@ -639,7 +675,7 @@ impl IngestService {
                 epsilon: open.request.epsilon,
             };
             let d = st.durable.as_mut().expect("durable state checked above");
-            d.wal.append(&WalRecord::CloseRound {
+            let commit = d.wal.append(&WalRecord::CloseRound {
                 session: session.raw(),
                 round: key.round,
                 refusals: tally.refusals,
@@ -655,6 +691,8 @@ impl IngestService {
             s.last_closed = Some((key.round, estimate.clone()));
             faults::hit("service.after_close");
             self.maybe_snapshot(st)?;
+            drop(guard);
+            commit.wait()?;
             return Ok(estimate);
         }
         // In-memory service: dispatch and gather outside the lock.
@@ -686,6 +724,31 @@ impl IngestService {
             s.last_closed = Some((key.round, estimate.clone()));
         }
         Ok(estimate)
+    }
+
+    /// The session's sequencing state, for clients resuming after a
+    /// disconnect (see [`SessionStatus`]).
+    pub fn status(&self, session: SessionId) -> Result<SessionStatus, CoreError> {
+        let guard = self.state.lock().unwrap();
+        let s = guard
+            .sessions
+            .get(&session)
+            .ok_or_else(|| unknown(session))?;
+        Ok(SessionStatus {
+            next_round: s.next_round,
+            next_seq: s.next_seq,
+            open_round: s.open.as_ref().map(|o| o.request.round),
+            epsilon_spent: s.epsilon_spent,
+            refusals: s.refusals,
+        })
+    }
+
+    /// Append/fsync counters of the current WAL generation (`None` for
+    /// an in-memory service). Drives the group-commit rows of
+    /// `BENCH_recovery.json`.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let guard = self.state.lock().unwrap();
+        guard.durable.as_ref().map(|d| d.wal.stats())
     }
 
     /// Refusals observed on `session` across closed rounds.
@@ -724,15 +787,17 @@ impl IngestService {
                 }
             }
         }
+        let mut commit = Commit::Durable;
         if let Some(d) = st.durable.as_mut() {
-            d.wal.append(&WalRecord::EndSession {
+            commit = d.wal.append(&WalRecord::EndSession {
                 session: session.raw(),
             })?;
             d.records_since_snapshot += 1;
         }
         st.sessions.remove(&session);
         self.maybe_snapshot(st)?;
-        Ok(())
+        drop(guard);
+        commit.wait()
     }
 
     /// Snapshot the full service state now and rotate the WAL (no-op on

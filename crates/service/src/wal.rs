@@ -21,19 +21,41 @@
 //!
 //! ## Sync levels
 //!
-//! [`WalSync`] picks the fsync discipline: `Always` syncs every frame
-//! before it is acknowledged, `Batch` syncs every
+//! [`WalSync`] picks the fsync discipline: `Always` makes every frame
+//! durable before it is acknowledged, `Batch` syncs every
 //! [`SYNC_BATCH_RECORDS`] report frames plus every control frame
 //! (session lifecycle, round close), `None` leaves flushing to the OS.
+//!
+//! ## Group commit
+//!
+//! Under `Always`, [`Wal::append`] no longer issues one `fdatasync` per
+//! frame inline. It writes the frame and hands back a pending
+//! [`Commit`]; the caller acknowledges only after [`Commit::wait`]
+//! returns. Waiters coordinate through a shared [`GroupCommit`]: the
+//! first waiter becomes the *leader* and issues a single `sync_data`
+//! covering **every frame written so far** — including frames appended
+//! by other sessions while the leader was syncing — and all covered
+//! waiters return from the one fsync. Concurrent sessions therefore
+//! coalesce their fsyncs into one disk barrier per write burst instead
+//! of queueing one `fdatasync` each. Crash-safety is unchanged: a frame
+//! is on disk before the call that wrote it is acknowledged, and a
+//! torn/unsynced tail only ever loses frames that were never
+//! acknowledged (the scan stops at the first bad frame, so no
+//! acknowledged record can survive *behind* a lost one).
 
+use crate::codec::{
+    crc32, put_estimate, put_request, put_response, put_u32, put_u64, take_estimate, take_request,
+    take_response, Cursor,
+};
 use crate::faults;
-use ldp_fo::{FoKind, Report};
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
 use ldp_ids::CoreError;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"LDPWAL01";
@@ -220,13 +242,154 @@ impl WalRecord {
     }
 }
 
+/// WAL write/sync counters, exposed for durability benchmarks via
+/// [`IngestService::wal_stats`](crate::IngestService::wal_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended to the current WAL generation.
+    pub records: u64,
+    /// `fdatasync` calls issued for the current generation (inline
+    /// batch/control syncs plus group-commit syncs). Under group commit
+    /// with concurrent sessions this is *less* than `records` even at
+    /// [`WalSync::Always`] — the coalescing win.
+    pub syncs: u64,
+}
+
+/// The durability obligation returned by [`Wal::append`].
+///
+/// `Durable` means the configured sync discipline was already satisfied
+/// inline. `Pending` means the frame is written but not yet fsynced;
+/// the caller must [`wait`](Commit::wait) — *after releasing any locks
+/// it shares with other appenders* — before acknowledging the operation
+/// the record describes. Waiting off-lock is what lets the shared
+/// [`GroupCommit`] coalesce concurrent sessions' fsyncs.
+#[derive(Debug)]
+#[must_use = "a pending commit must be waited on before the record is acknowledged"]
+pub enum Commit {
+    /// Already as durable as the sync level promises.
+    Durable,
+    /// Written but unsynced: wait on the group before acknowledging.
+    Pending {
+        /// The WAL's fsync coordinator.
+        group: Arc<GroupCommit>,
+        /// This record's position in the append order.
+        ticket: u64,
+    },
+}
+
+impl Commit {
+    /// Block until the record is durable (a no-op for `Durable`).
+    pub fn wait(self) -> Result<(), CoreError> {
+        match self {
+            Commit::Durable => Ok(()),
+            Commit::Pending { group, ticket } => group.wait(ticket),
+        }
+    }
+}
+
+/// The group-commit coordinator: one per WAL generation, shared (via
+/// `Arc`) between the WAL owner and every in-flight [`Commit`] waiter.
+///
+/// The leader/follower protocol in [`wait`](GroupCommit::wait) issues
+/// one `sync_data` per *burst*: the first waiter syncs up to the highest
+/// frame written at that moment; every waiter covered by that barrier
+/// returns without touching the disk.
+#[derive(Debug)]
+pub struct GroupCommit {
+    /// A clone of the WAL's file handle (same kernel file description,
+    /// so `sync_data` here flushes frames written through the WAL).
+    file: File,
+    path: PathBuf,
+    state: Mutex<CommitState>,
+    cond: Condvar,
+    syncs: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CommitState {
+    /// Highest ticket written to the file.
+    written: u64,
+    /// Highest ticket known durable.
+    synced: u64,
+    /// A leader is currently inside `sync_data`.
+    syncing: bool,
+    /// A failed fsync poisons the generation: durability can no longer
+    /// be promised, so every subsequent wait fails too.
+    failed: Option<String>,
+}
+
+impl GroupCommit {
+    fn new(file: File, path: PathBuf) -> Arc<Self> {
+        Arc::new(GroupCommit {
+            file,
+            path,
+            state: Mutex::new(CommitState::default()),
+            cond: Condvar::new(),
+            syncs: AtomicU64::new(0),
+        })
+    }
+
+    fn note_written(&self, ticket: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.written = st.written.max(ticket);
+    }
+
+    /// Group-commit fsyncs issued so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Block until ticket `ticket` is durable, becoming the sync leader
+    /// if nobody else is.
+    pub fn wait(&self, ticket: u64) -> Result<(), CoreError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(detail) = &st.failed {
+                return Err(CoreError::Wal {
+                    detail: format!("group commit sync {}: {detail}", self.path.display()),
+                });
+            }
+            if st.synced >= ticket {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.cond.wait(st).unwrap();
+                continue;
+            }
+            st.syncing = true;
+            let target = st.written;
+            drop(st);
+            let result = self.file.sync_data();
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            st = self.state.lock().unwrap();
+            st.syncing = false;
+            match result {
+                Ok(()) => st.synced = st.synced.max(target),
+                Err(e) => st.failed = Some(e.to_string()),
+            }
+            self.cond.notify_all();
+        }
+    }
+
+    /// Release every waiter without another fsync — called when the WAL
+    /// generation is retired by a snapshot rotation, which has already
+    /// made all state durable through the snapshot itself.
+    fn retire(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.synced = u64::MAX;
+        self.cond.notify_all();
+    }
+}
+
 /// An open, appendable WAL file.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
     path: PathBuf,
     sync: WalSync,
+    group: Arc<GroupCommit>,
     records: u64,
+    inline_syncs: u64,
     unsynced_reports: u64,
 }
 
@@ -244,11 +407,16 @@ impl Wal {
             .map_err(|e| wal_err("write header", path, &e))?;
         file.sync_data()
             .map_err(|e| wal_err("sync header", path, &e))?;
+        let clone = file
+            .try_clone()
+            .map_err(|e| wal_err("clone for group commit", path, &e))?;
         Ok(Wal {
+            group: GroupCommit::new(clone, path.to_path_buf()),
             file,
             path: path.to_path_buf(),
             sync,
             records: 0,
+            inline_syncs: 0,
             unsynced_reports: 0,
         })
     }
@@ -258,14 +426,32 @@ impl Wal {
         self.records
     }
 
+    /// Append/sync counters for this generation.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.records,
+            syncs: self.inline_syncs + self.group.syncs(),
+        }
+    }
+
     /// The file this WAL appends to.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Append one record, honoring the sync level. Must complete before
-    /// the state transition it describes is applied or acknowledged.
-    pub fn append(&mut self, record: &WalRecord) -> Result<(), CoreError> {
+    /// The fsync coordinator shared with this WAL's pending commits.
+    pub fn group(&self) -> Arc<GroupCommit> {
+        Arc::clone(&self.group)
+    }
+
+    /// Append one record, honoring the sync level.
+    ///
+    /// Must happen before the state transition the record describes is
+    /// applied. Under [`WalSync::Always`] the returned commit is
+    /// `Pending`: the caller must [`Commit::wait`] on it before
+    /// acknowledging (ideally after releasing shared locks, so
+    /// concurrent appenders share one fsync).
+    pub fn append(&mut self, record: &WalRecord) -> Result<Commit, CoreError> {
         faults::hit("wal.before_append");
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -282,31 +468,53 @@ impl Wal {
             .write_all(&frame)
             .map_err(|e| wal_err("append", &self.path, &e))?;
         self.records += 1;
-        let sync_now = match self.sync {
-            WalSync::Always => true,
-            WalSync::None => false,
+        let commit = match self.sync {
+            WalSync::Always => {
+                self.group.note_written(self.records);
+                Commit::Pending {
+                    group: Arc::clone(&self.group),
+                    ticket: self.records,
+                }
+            }
+            WalSync::None => Commit::Durable,
             WalSync::Batch => {
-                if record.is_control() {
+                let sync_now = if record.is_control() {
                     true
                 } else {
                     self.unsynced_reports += 1;
                     self.unsynced_reports >= SYNC_BATCH_RECORDS
+                };
+                if sync_now {
+                    self.sync()?;
                 }
+                Commit::Durable
             }
         };
-        if sync_now {
-            self.sync()?;
-        }
         faults::hit("wal.after_append");
-        Ok(())
+        Ok(commit)
     }
 
     /// Force an fsync of everything appended so far.
     pub fn sync(&mut self) -> Result<(), CoreError> {
         self.unsynced_reports = 0;
+        self.inline_syncs += 1;
         self.file
             .sync_data()
-            .map_err(|e| wal_err("sync", &self.path, &e))
+            .map_err(|e| wal_err("sync", &self.path, &e))?;
+        // Everything written is now durable; release any group waiters.
+        let mut st = self.group.state.lock().unwrap();
+        st.synced = st.synced.max(st.written);
+        self.group.cond.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Rotation (or service teardown) retires this generation: any
+        // still-parked waiter was made durable by the snapshot that
+        // replaced the log, so release them rather than strand them.
+        self.group.retire();
     }
 }
 
@@ -408,250 +616,10 @@ pub fn scan(path: &Path) -> Result<WalScan, CoreError> {
     })
 }
 
-// ---------------------------------------------------------------------
-// Binary codec primitives (little-endian throughout).
-
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
-    put_u64(out, v.to_bits());
-}
-
-fn put_fo(out: &mut Vec<u8>, fo: FoKind) {
-    out.push(match fo {
-        FoKind::Grr => 0,
-        FoKind::Oue => 1,
-        FoKind::Olh => 2,
-        FoKind::Adaptive => 3,
-    });
-}
-
-pub(crate) fn put_request(out: &mut Vec<u8>, request: &ReportRequest) {
-    put_u64(out, request.round);
-    put_u64(out, request.t);
-    put_fo(out, request.fo);
-    put_f64(out, request.epsilon);
-    put_u32(out, request.domain_size as u32);
-}
-
-fn put_report(out: &mut Vec<u8>, report: &Report) {
-    match report {
-        Report::Grr(v) => {
-            out.push(0);
-            put_u32(out, *v);
-        }
-        Report::Oue { bits, len } => {
-            out.push(1);
-            put_u32(out, *len);
-            put_u32(out, bits.len() as u32);
-            for word in bits {
-                put_u64(out, *word);
-            }
-        }
-        Report::Olh { seed, bucket } => {
-            out.push(2);
-            put_u64(out, *seed);
-            put_u32(out, *bucket);
-        }
-    }
-}
-
-pub(crate) fn put_response(out: &mut Vec<u8>, response: &UserResponse) {
-    match response {
-        UserResponse::Report { round, report } => {
-            out.push(0);
-            put_u64(out, *round);
-            put_report(out, report);
-        }
-        UserResponse::Refused {
-            round,
-            requested,
-            available,
-        } => {
-            out.push(1);
-            put_u64(out, *round);
-            put_f64(out, *requested);
-            put_f64(out, *available);
-        }
-    }
-}
-
-pub(crate) fn put_estimate(out: &mut Vec<u8>, estimate: &RoundEstimate) {
-    put_u64(out, estimate.reporters);
-    put_f64(out, estimate.epsilon);
-    put_u32(out, estimate.frequencies.len() as u32);
-    for f in &estimate.frequencies {
-        put_f64(out, *f);
-    }
-}
-
-/// A bounds-checked little-endian reader over a payload.
-pub(crate) struct Cursor<'a> {
-    bytes: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Cursor<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.bytes.len() - self.at < n {
-            return Err(format!(
-                "payload truncated: needed {n} bytes at offset {}, {} left",
-                self.at,
-                self.bytes.len() - self.at
-            ));
-        }
-        let slice = &self.bytes[self.at..self.at + n];
-        self.at += n;
-        Ok(slice)
-    }
-
-    pub(crate) fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    pub(crate) fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    pub(crate) fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    pub(crate) fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    pub(crate) fn finish(&self) -> Result<(), String> {
-        if self.at != self.bytes.len() {
-            return Err(format!(
-                "{} trailing bytes after record",
-                self.bytes.len() - self.at
-            ));
-        }
-        Ok(())
-    }
-}
-
-fn take_fo(cur: &mut Cursor<'_>) -> Result<FoKind, String> {
-    match cur.u8()? {
-        0 => Ok(FoKind::Grr),
-        1 => Ok(FoKind::Oue),
-        2 => Ok(FoKind::Olh),
-        3 => Ok(FoKind::Adaptive),
-        tag => Err(format!("unknown oracle tag {tag}")),
-    }
-}
-
-pub(crate) fn take_request(cur: &mut Cursor<'_>) -> Result<ReportRequest, String> {
-    Ok(ReportRequest {
-        round: cur.u64()?,
-        t: cur.u64()?,
-        fo: take_fo(cur)?,
-        epsilon: cur.f64()?,
-        domain_size: cur.u32()? as usize,
-    })
-}
-
-fn take_report(cur: &mut Cursor<'_>) -> Result<Report, String> {
-    match cur.u8()? {
-        0 => Ok(Report::Grr(cur.u32()?)),
-        1 => {
-            let len = cur.u32()?;
-            let words = cur.u32()? as usize;
-            if words > len as usize / 64 + 1 {
-                return Err(format!(
-                    "OUE word count {words} inconsistent with len {len}"
-                ));
-            }
-            let mut bits = Vec::with_capacity(words);
-            for _ in 0..words {
-                bits.push(cur.u64()?);
-            }
-            Ok(Report::Oue { bits, len })
-        }
-        2 => Ok(Report::Olh {
-            seed: cur.u64()?,
-            bucket: cur.u32()?,
-        }),
-        tag => Err(format!("unknown report tag {tag}")),
-    }
-}
-
-pub(crate) fn take_response(cur: &mut Cursor<'_>) -> Result<UserResponse, String> {
-    match cur.u8()? {
-        0 => Ok(UserResponse::Report {
-            round: cur.u64()?,
-            report: take_report(cur)?,
-        }),
-        1 => Ok(UserResponse::Refused {
-            round: cur.u64()?,
-            requested: cur.f64()?,
-            available: cur.f64()?,
-        }),
-        tag => Err(format!("unknown response tag {tag}")),
-    }
-}
-
-pub(crate) fn take_estimate(cur: &mut Cursor<'_>) -> Result<RoundEstimate, String> {
-    let reporters = cur.u64()?;
-    let epsilon = cur.f64()?;
-    let n = cur.u32()? as usize;
-    let mut frequencies = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
-        frequencies.push(cur.f64()?);
-    }
-    Ok(RoundEstimate {
-        frequencies,
-        reporters,
-        epsilon,
-    })
-}
-
-// ---------------------------------------------------------------------
-// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
-
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_fo::{FoKind, Report};
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ldp_wal_test_{}", std::process::id()));
@@ -713,13 +681,6 @@ mod tests {
     }
 
     #[test]
-    fn crc32_known_vector() {
-        // The canonical check value for CRC-32/IEEE.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
-
-    #[test]
     fn records_roundtrip_through_codec() {
         for record in sample_records() {
             let payload = record.encode();
@@ -733,9 +694,12 @@ mod tests {
         let mut wal = Wal::create(&path, WalSync::Always).unwrap();
         let records = sample_records();
         for record in &records {
-            wal.append(record).unwrap();
+            wal.append(record).unwrap().wait().unwrap();
         }
         assert_eq!(wal.records(), records.len() as u64);
+        let stats = wal.stats();
+        assert_eq!(stats.records, records.len() as u64);
+        assert!(stats.syncs >= 1, "Always must fsync at least once");
         drop(wal);
         let scan = scan(&path).unwrap();
         assert_eq!(scan.records, records);
@@ -744,12 +708,48 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_coalesces_pending_waits_into_one_fsync() {
+        let path = tmp("group.log");
+        let mut wal = Wal::create(&path, WalSync::Always).unwrap();
+        let records = sample_records();
+        let mut commits = Vec::new();
+        for _ in 0..4 {
+            for record in &records {
+                commits.push(wal.append(record).unwrap());
+            }
+        }
+        // Wait on the *last* ticket first: that waiter leads and its one
+        // sync_data covers every frame written, so the earlier tickets
+        // return without further fsyncs.
+        while let Some(commit) = commits.pop() {
+            commit.wait().unwrap();
+        }
+        assert_eq!(wal.stats().syncs, 1);
+        assert_eq!(wal.stats().records, 4 * records.len() as u64);
+        drop(wal);
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.records.len(), 4 * records.len());
+        assert!(scanned.corrupt_tail.is_none());
+    }
+
+    #[test]
+    fn retired_group_releases_waiters_without_fsync() {
+        let path = tmp("retire.log");
+        let mut wal = Wal::create(&path, WalSync::Always).unwrap();
+        let commit = wal
+            .append(&WalRecord::CreateSession { session: 9 })
+            .unwrap();
+        drop(wal); // rotation/teardown retires the generation
+        commit.wait().unwrap();
+    }
+
+    #[test]
     fn torn_tail_recovers_to_last_complete_record() {
         let path = tmp("torn.log");
         let mut wal = Wal::create(&path, WalSync::None).unwrap();
         let records = sample_records();
         for record in &records {
-            wal.append(record).unwrap();
+            wal.append(record).unwrap().wait().unwrap();
         }
         drop(wal);
         // Tear the last frame: chop 3 bytes off the file.
@@ -772,7 +772,7 @@ mod tests {
         let mut wal = Wal::create(&path, WalSync::None).unwrap();
         let records = sample_records();
         for record in &records {
-            wal.append(record).unwrap();
+            wal.append(record).unwrap().wait().unwrap();
         }
         drop(wal);
         // Flip one payload byte in the final frame.

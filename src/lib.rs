@@ -10,6 +10,7 @@ pub use ldp_cdp as cdp;
 pub use ldp_fo as fo;
 pub use ldp_ids as ids;
 pub use ldp_metrics as metrics;
+pub use ldp_net as net;
 pub use ldp_service as service;
 pub use ldp_stream as stream;
 pub use ldp_util as util;
