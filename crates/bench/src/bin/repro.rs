@@ -9,12 +9,15 @@
 //!   --json DIR       also write each figure as JSON under DIR
 //!   --threads N      worker threads (default: all cores)
 //!   --stamp ISO      ISO-8601 timestamp recorded in benchmark artifacts
+//!   --fo NAME        throughput only: sweep a single oracle (grr|oue|olh)
+//!   --domain N       throughput only: sweep a single domain size
 //! ```
 
 use ldp_bench::experiments::{self, ExperimentCtx};
 use ldp_bench::hostmeta::HostMeta;
 use ldp_bench::output::Figure;
 use ldp_bench::scale::RunScale;
+use ldp_fo::FoKind;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -25,6 +28,8 @@ struct Cli {
     json_dir: Option<PathBuf>,
     threads: Option<usize>,
     stamp: Option<String>,
+    fo: Option<FoKind>,
+    domain: Option<usize>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -35,6 +40,8 @@ fn parse_args() -> Result<Cli, String> {
         json_dir: None,
         threads: None,
         stamp: None,
+        fo: None,
+        domain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +67,20 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--stamp needs an ISO-8601 timestamp")?;
                 cli.stamp = Some(v);
             }
+            "--fo" => {
+                let v = args
+                    .next()
+                    .ok_or("--fo needs an oracle name (grr|oue|olh)")?;
+                cli.fo = Some(v.parse()?);
+            }
+            "--domain" => {
+                let v = args.next().ok_or("--domain needs a value")?;
+                let d: usize = v.parse().map_err(|_| format!("bad domain size `{v}`"))?;
+                if d < 2 {
+                    return Err("--domain must be at least 2".into());
+                }
+                cli.domain = Some(d);
+            }
             "--help" | "-h" => {
                 println!("{}", USAGE);
                 std::process::exit(0);
@@ -76,7 +97,7 @@ fn parse_args() -> Result<Cli, String> {
 
 const USAGE: &str = "usage: repro \
 <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|recovery|all> \
-[--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO]";
+[--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO] [--fo grr|oue|olh] [--domain N]";
 
 /// Write a benchmark artifact to the repo root and, when `--json` names
 /// a directory, next to the figure JSONs too.
@@ -136,7 +157,7 @@ fn main() {
             "table2" => vec![experiments::table2::run(&ctx)],
             "throughput" => {
                 let host = HostMeta::capture(cli.stamp.clone());
-                let report = experiments::throughput::run(cli.scale, host);
+                let report = experiments::throughput::run(cli.scale, host, cli.fo, cli.domain);
                 println!("{}", report.render());
                 write_artifact("BENCH_throughput.json", cli.json_dir.as_deref(), |path| {
                     report.write_json(path)

@@ -26,11 +26,17 @@
 //!
 //! The closed-form estimation variance (paper Eq. 2) lives in
 //! [`variance`], parameterized by each oracle's `(p, q)` pair.
+//!
+//! Aggregation-side hot paths use [`FrequencyOracle::accumulate_batch`]
+//! over columnar report layouts — the word-parallel kernels in
+//! [`kernels`] are bit-identical to the scalar `accumulate` fold (u64
+//! tallies make the reordering exact).
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod grr;
+pub mod kernels;
 pub mod olh;
 pub mod oracle;
 pub mod oue;
@@ -39,6 +45,7 @@ pub mod variance;
 
 pub use adaptive::AdaptiveOracle;
 pub use grr::Grr;
+pub use kernels::ReportColumns;
 pub use olh::Olh;
 pub use oracle::{build_oracle, FoError, FoKind, FrequencyOracle, OracleHandle};
 pub use oue::Oue;

@@ -16,6 +16,7 @@
 //! correlation induced by shared seeds is not reproduced. GRR/OUE, the
 //! oracles used in the paper's experiments, have exact joint samplers.
 
+use crate::kernels::{self, ReportColumns};
 use crate::oracle::{validate_params, FoError, FoKind, FrequencyOracle};
 use crate::report::Report;
 use crate::variance::PqPair;
@@ -107,6 +108,20 @@ impl FrequencyOracle for Olh {
             }
             _ => debug_assert!(false, "OLH oracle received non-OLH report"),
         }
+    }
+
+    fn accumulate_columns(&self, columns: &ReportColumns, counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), self.d);
+        match columns {
+            ReportColumns::Olh { seeds, buckets } => {
+                kernels::olh_accumulate_columns(seeds, buckets, self.g as u64, counts);
+            }
+            other => other.for_each_report(|r| self.accumulate_lenient(&r, counts)),
+        }
+    }
+
+    fn batch_kernel(&self) -> &'static str {
+        kernels::OLH_KERNEL
     }
 
     fn perturb_aggregate(&self, true_counts: &[u64], rng: &mut dyn RngCore) -> Vec<u64> {

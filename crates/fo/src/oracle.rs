@@ -1,5 +1,6 @@
 //! The [`FrequencyOracle`] trait and oracle construction.
 
+use crate::kernels::{self, ReportColumns};
 use crate::report::Report;
 use crate::variance::{avg_variance, cell_variance, PqPair};
 use crate::{AdaptiveOracle, Grr, Olh, Oue};
@@ -131,6 +132,59 @@ pub trait FrequencyOracle: Send + Sync + std::fmt::Debug {
     /// Fold one report into the raw support-count vector
     /// (`counts.len() == d`).
     fn accumulate(&self, report: &Report, counts: &mut [u64]);
+
+    /// Fold one report with release-mode (lenient) semantics: wrong-kind
+    /// reports tally nothing, malformed OUE payloads are length-clamped,
+    /// and nothing panics even with debug assertions on. For well-formed
+    /// reports this is bit-identical to [`accumulate`](Self::accumulate).
+    fn accumulate_lenient(&self, report: &Report, counts: &mut [u64]) {
+        match (self.kind(), report) {
+            (FoKind::Oue, Report::Oue { bits, len }) => {
+                kernels::oue_accumulate_lenient(bits, *len, counts);
+            }
+            (FoKind::Grr, Report::Grr(_)) | (FoKind::Olh, Report::Olh { .. }) => {
+                // The scalar paths for these kinds are already lenient
+                // (out-of-domain GRR values skip; out-of-range OLH
+                // buckets never match a hash).
+                self.accumulate(report, counts);
+            }
+            _ => {}
+        }
+    }
+
+    /// Fold a slice of reports into the raw support-count vector,
+    /// bit-identically to folding each through
+    /// [`accumulate`](Self::accumulate) — tallies are u64 sums, so the
+    /// batched kernels' reordering of the additions is exact.
+    ///
+    /// The default packs the reports into [`ReportColumns`] and defers
+    /// to [`accumulate_columns`](Self::accumulate_columns); reports that
+    /// don't fit the column layout take the lenient scalar path.
+    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) {
+        let d = self.domain_size();
+        let mut columns = ReportColumns::for_kind(self.kind(), d, reports.len());
+        for report in reports {
+            if !columns.try_push(report, d) {
+                self.accumulate_lenient(report, counts);
+            }
+        }
+        self.accumulate_columns(&columns, counts);
+    }
+
+    /// Fold a column of same-kind reports (the service's batch layout)
+    /// into the raw support-count vector, bit-identically to the scalar
+    /// path. Oracles with a specialized kernel override this; the
+    /// default walks the rows through
+    /// [`accumulate_lenient`](Self::accumulate_lenient).
+    fn accumulate_columns(&self, columns: &ReportColumns, counts: &mut [u64]) {
+        columns.for_each_report(|report| self.accumulate_lenient(&report, counts));
+    }
+
+    /// Which batched kernel [`accumulate_batch`](Self::accumulate_batch)
+    /// runs (a stable label stamped into benchmark artifacts).
+    fn batch_kernel(&self) -> &'static str {
+        kernels::SCALAR_KERNEL
+    }
 
     /// Unbiased frequency estimates from raw support counts of `n` users.
     fn estimate(&self, counts: &[u64], n: u64) -> Vec<f64> {

@@ -6,6 +6,7 @@
 //! `4e^ε/(n(e^ε−1)²)` is independent of `d`, which makes it the better
 //! oracle for large domains (`d ≥ 3e^ε + 2`).
 
+use crate::kernels::{self, ReportColumns};
 use crate::oracle::{validate_params, FoError, FoKind, FrequencyOracle};
 use crate::report::{iter_set_bits, BitVec, Report};
 use crate::variance::PqPair;
@@ -76,14 +77,30 @@ impl FrequencyOracle for Oue {
         match report {
             Report::Oue { bits, len } => {
                 debug_assert_eq!(*len as usize, self.d);
-                for j in iter_set_bits(bits, *len) {
-                    if j < counts.len() {
-                        counts[j] += 1;
-                    }
+                // One clamp at entry; `iter_set_bits` already stops at
+                // the logical length, so every yielded index is in
+                // bounds without a per-bit check.
+                let len = (*len).min(counts.len() as u32);
+                for j in iter_set_bits(bits, len) {
+                    counts[j] += 1;
                 }
             }
             _ => debug_assert!(false, "OUE oracle received non-OUE report"),
         }
+    }
+
+    fn accumulate_columns(&self, columns: &ReportColumns, counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), self.d);
+        match columns {
+            ReportColumns::Oue { words, len } if *len as usize == self.d => {
+                kernels::oue_accumulate_columns(words, self.d, counts);
+            }
+            other => other.for_each_report(|r| self.accumulate_lenient(&r, counts)),
+        }
+    }
+
+    fn batch_kernel(&self) -> &'static str {
+        kernels::OUE_KERNEL
     }
 
     /// Exact aggregate sampling: OUE bit-columns are independent given

@@ -25,4 +25,4 @@ pub use cfpu::{cfpu_lba_lbd, cfpu_lbu, cfpu_lpa, cfpu_lpd, cfpu_lpu_lsp};
 pub use error::{mae, mre, mse, StreamError, DEFAULT_MRE_FLOOR};
 pub use roc::{auc, roc_points, RocCurve};
 pub use series::{Series, SeriesPoint};
-pub use table::Table;
+pub use table::{format_num, Table};

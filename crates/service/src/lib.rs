@@ -82,11 +82,11 @@ pub mod session;
 pub mod shard;
 pub mod wal;
 
-pub use batch::{Batch, RoundKey, ServiceConfig};
+pub use batch::{Batch, ColumnarBatch, RoundKey, ServiceConfig};
 pub use parallel::{ParallelCollector, ServiceSink};
 pub use pool::WorkerPool;
 pub use recovery::RecoveryReport;
 pub use registry::{TenantRegistry, TenantSpec};
 pub use session::{IngestService, SessionId, SessionStatus};
-pub use shard::{ShardAccumulator, ShardTally};
+pub use shard::{ShardAccumulator, ShardArena, ShardTally};
 pub use wal::{Commit, GroupCommit, Wal, WalRecord, WalScan, WalStats, WalSync};

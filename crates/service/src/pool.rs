@@ -1,7 +1,8 @@
 //! The worker pool: `std::thread` workers fed by bounded channels.
 //!
-//! Each worker owns its shard accumulators and drains its own inbox, so
-//! no locks sit on the fold path. Dispatch is round-robin over workers;
+//! Each worker owns a [`ShardArena`] of shard accumulators and drains
+//! its own inbox, so no locks sit on the fold path and every batch
+//! folds through the oracle's columnar kernels. Dispatch is round-robin over workers;
 //! the inboxes are bounded (`queue_depth` batches), so a producer that
 //! outruns the shards blocks on `send` — backpressure, not unbounded
 //! queue growth.
@@ -15,8 +16,7 @@
 //! handed.
 
 use crate::batch::{Batch, RoundKey};
-use crate::shard::{ShardAccumulator, ShardTally};
-use std::collections::HashMap;
+use crate::shard::{ShardArena, ShardTally};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -168,47 +168,25 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(rx: mpsc::Receiver<WorkerMsg>) {
-    let mut shards: HashMap<RoundKey, ShardAccumulator> = HashMap::new();
+    let mut arena = ShardArena::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Ingest(batch) => {
-                let shard = shards
-                    .entry(batch.key)
-                    .or_insert_with(|| ShardAccumulator::new(batch.key, batch.oracle.clone()));
-                for response in &batch.responses {
-                    shard.fold(response);
-                }
-            }
+            WorkerMsg::Ingest(batch) => arena.ingest(batch),
             WorkerMsg::Close {
                 key,
                 domain_size,
                 reply,
             } => {
                 // A worker that was never handed one of the round's
-                // batches replies with an empty tally.
-                let tally = shards
-                    .remove(&key)
-                    .map(ShardAccumulator::into_tally)
-                    .unwrap_or_else(|| ShardTally::empty(domain_size));
-                // The session manager may have shut down mid-close;
-                // a dead reply channel is not this worker's problem.
-                let _ = reply.send(tally);
+                // batches replies with an empty tally. The session
+                // manager may also have shut down mid-close; a dead
+                // reply channel is not this worker's problem.
+                let _ = reply.send(arena.close(key, domain_size));
             }
             WorkerMsg::Checkpoint { keys, reply } => {
-                let tallies = keys
-                    .iter()
-                    .map(|&(key, domain_size)| {
-                        shards
-                            .get(&key)
-                            .map(|s| s.tally().clone())
-                            .unwrap_or_else(|| ShardTally::empty(domain_size))
-                    })
-                    .collect();
-                let _ = reply.send(tallies);
+                let _ = reply.send(arena.checkpoint(&keys));
             }
-            WorkerMsg::Seed { key, oracle, tally } => {
-                shards.insert(key, ShardAccumulator::with_tally(key, oracle, tally));
-            }
+            WorkerMsg::Seed { key, oracle, tally } => arena.seed(key, oracle, tally),
         }
     }
 }
@@ -242,11 +220,7 @@ mod tests {
         let pool = WorkerPool::new(4, 2);
         let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
         for _ in 0..10 {
-            pool.dispatch(Batch {
-                key: key(0),
-                oracle: oracle.clone(),
-                responses: reports(0, 1, 100),
-            });
+            pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 1, 100)));
         }
         let tally = pool.close_round(key(0), 3);
         assert_eq!(tally.reporters, 1000);
@@ -260,16 +234,8 @@ mod tests {
     fn concurrent_rounds_stay_separate() {
         let pool = WorkerPool::new(2, 4);
         let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
-        pool.dispatch(Batch {
-            key: key(0),
-            oracle: oracle.clone(),
-            responses: reports(0, 0, 7),
-        });
-        pool.dispatch(Batch {
-            key: key(1),
-            oracle: oracle.clone(),
-            responses: reports(1, 1, 5),
-        });
+        pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 0, 7)));
+        pool.dispatch(Batch::encode(key(1), &oracle, reports(1, 1, 5)));
         let t0 = pool.close_round(key(0), 2);
         let t1 = pool.close_round(key(1), 2);
         assert_eq!(t0.reporters, 7);
@@ -280,11 +246,7 @@ mod tests {
     fn single_worker_pool_works() {
         let pool = WorkerPool::new(1, 1);
         let oracle = build_oracle(FoKind::Grr, 8.0, 2).unwrap();
-        pool.dispatch(Batch {
-            key: key(0),
-            oracle,
-            responses: reports(0, 0, 3),
-        });
+        pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 0, 3)));
         assert_eq!(pool.close_round(key(0), 2).reporters, 3);
     }
 
@@ -293,21 +255,13 @@ mod tests {
         let pool = WorkerPool::new(3, 2);
         let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
         for _ in 0..6 {
-            pool.dispatch(Batch {
-                key: key(0),
-                oracle: oracle.clone(),
-                responses: reports(0, 2, 50),
-            });
+            pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 2, 50)));
         }
         let mid = pool.checkpoint(&[(key(0), 3)]);
         assert_eq!(mid.len(), 1);
         assert_eq!(mid[0].reporters, 300, "checkpoint sees all prior batches");
         // The round keeps accumulating and still closes with everything.
-        pool.dispatch(Batch {
-            key: key(0),
-            oracle,
-            responses: reports(0, 2, 10),
-        });
+        pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 2, 10)));
         assert_eq!(pool.close_round(key(0), 3).reporters, 310);
     }
 
@@ -322,11 +276,7 @@ mod tests {
             stale: 0,
         };
         pool.seed(key(0), oracle.clone(), seed);
-        pool.dispatch(Batch {
-            key: key(0),
-            oracle,
-            responses: reports(0, 0, 8),
-        });
+        pool.dispatch(Batch::encode(key(0), &oracle, reports(0, 0, 8)));
         let tally = pool.close_round(key(0), 2);
         assert_eq!(tally.reporters, 50);
         assert_eq!(tally.refusals, 1);

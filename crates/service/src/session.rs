@@ -427,17 +427,17 @@ impl IngestService {
         s.next_seq += 1;
         open.pending.push(response);
         if open.pending.len() >= self.config.batch_size {
-            let batch = Batch {
-                key: RoundKey {
+            let batch = Batch::encode(
+                RoundKey {
                     session,
                     round: open.request.round,
                 },
-                oracle: open.oracle.clone(),
-                responses: std::mem::replace(
+                &open.oracle,
+                std::mem::replace(
                     &mut open.pending,
                     Vec::with_capacity(self.config.batch_size),
                 ),
-            };
+            );
             if let Some(commit) = commit {
                 // Under the lock: the snapshot checkpoint barrier must
                 // see every batch that made it to the WAL.
@@ -566,23 +566,17 @@ impl IngestService {
         }
         if let Some(commit) = commit {
             for responses in batches {
-                self.pool.dispatch(Batch {
-                    key,
-                    oracle: oracle.clone(),
-                    responses,
-                });
+                self.pool.dispatch(Batch::encode(key, &oracle, responses));
             }
             self.maybe_snapshot(st)?;
             drop(guard);
             commit.wait()?;
         } else {
             drop(guard);
+            // Outside the lock: the columnar encode (the one copy pass
+            // per batch) runs without serializing other sessions.
             for responses in batches {
-                self.pool.dispatch(Batch {
-                    key,
-                    oracle: oracle.clone(),
-                    responses,
-                });
+                self.pool.dispatch(Batch::encode(key, &oracle, responses));
             }
         }
         Ok(())
@@ -660,11 +654,8 @@ impl IngestService {
                 round: open.request.round,
             };
             if !open.pending.is_empty() {
-                self.pool.dispatch(Batch {
-                    key,
-                    oracle: open.oracle.clone(),
-                    responses: open.pending,
-                });
+                self.pool
+                    .dispatch(Batch::encode(key, &open.oracle, open.pending));
             }
             faults::hit("service.before_close");
             let tally = self.pool.close_round(key, open.oracle.domain_size());
@@ -704,11 +695,7 @@ impl IngestService {
         let (oracle, epsilon, tail) = (open.oracle, open.request.epsilon, open.pending);
         drop(guard);
         if !tail.is_empty() {
-            self.pool.dispatch(Batch {
-                key,
-                oracle: oracle.clone(),
-                responses: tail,
-            });
+            self.pool.dispatch(Batch::encode(key, &oracle, tail));
         }
         let tally = self.pool.close_round(key, oracle.domain_size());
         debug_assert_eq!(tally.stale, 0, "stale traffic past session validation");

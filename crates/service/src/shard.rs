@@ -1,16 +1,22 @@
 //! Per-shard support-count accumulation.
 //!
-//! Each pool worker owns one [`ShardAccumulator`] per open round it has
-//! seen traffic for. Folding a report is the round oracle's
-//! `accumulate` — integer increments of per-cell support counts — so the
-//! merged tally over any partition of the response stream equals the
-//! sequential tally exactly (u64 addition is commutative and
-//! associative), which is what makes the parallel service's estimates
-//! bit-identical to `AggregationServer`'s.
+//! Each pool worker owns a [`ShardArena`]: one [`ShardAccumulator`] per
+//! open round it has seen traffic for, its support buffer reused across
+//! every batch of that round. Folding a batch runs the round oracle's
+//! columnar kernels ([`fold_columns`]) — integer increments of per-cell
+//! support counts — so the merged tally over any partition of the
+//! response stream equals the sequential tally exactly (u64 addition is
+//! commutative and associative), which is what makes the parallel
+//! service's estimates bit-identical to `AggregationServer`'s. The
+//! per-response [`fold`] path survives for WAL replay during recovery.
+//!
+//! [`fold`]: ShardAccumulator::fold
+//! [`fold_columns`]: ShardAccumulator::fold_columns
 
-use crate::batch::RoundKey;
+use crate::batch::{Batch, ColumnarBatch, RoundKey};
 use ldp_fo::OracleHandle;
 use ldp_ids::protocol::UserResponse;
+use std::collections::HashMap;
 
 /// One worker's view of one round: a partition of the support counts.
 #[derive(Debug)]
@@ -119,9 +125,94 @@ impl ShardAccumulator {
         }
     }
 
+    /// Fold one columnar batch into the shard through the round
+    /// oracle's batched kernels.
+    ///
+    /// Bit-identical to folding the batch's source responses through
+    /// [`fold`](Self::fold) one at a time: the kernels reorder only u64
+    /// additions, leftovers take the oracle's lenient scalar path (the
+    /// release-mode semantics of `accumulate`), and the counter
+    /// bookkeeping matches the per-response accounting exactly — a
+    /// whole batch validated against a different round id counts every
+    /// carried response as stale, tallying nothing.
+    pub fn fold_columns(&mut self, batch: &ColumnarBatch) {
+        if batch.round() != self.key.round {
+            self.tally.stale += batch.responses();
+            return;
+        }
+        self.oracle
+            .accumulate_columns(batch.columns(), &mut self.tally.support);
+        for report in batch.leftovers() {
+            self.oracle
+                .accumulate_lenient(report, &mut self.tally.support);
+        }
+        self.tally.reporters += batch.reports();
+        self.tally.refusals += batch.refusals();
+        self.tally.stale += batch.stale();
+    }
+
     /// Finish the shard, yielding its tally.
     pub fn into_tally(self) -> ShardTally {
         self.tally
+    }
+}
+
+/// One worker's round-state arena: every open round's accumulator,
+/// keyed by [`RoundKey`], with each round's support buffer reused
+/// across all of its batches (allocation happens once per round per
+/// worker, not per batch — the columnar kernels themselves fold with
+/// zero heap traffic).
+#[derive(Debug, Default)]
+pub struct ShardArena {
+    rounds: HashMap<RoundKey, ShardAccumulator>,
+}
+
+impl ShardArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open rounds currently holding state in this arena.
+    pub fn open_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Fold one batch, lazily creating the round's accumulator from the
+    /// oracle the batch carries.
+    pub fn ingest(&mut self, batch: Batch) {
+        self.rounds
+            .entry(batch.key)
+            .or_insert_with(|| ShardAccumulator::new(batch.key, batch.oracle.clone()))
+            .fold_columns(&batch.columns);
+    }
+
+    /// Finish a round, yielding this shard's tally — empty when none of
+    /// the round's batches landed here.
+    pub fn close(&mut self, key: RoundKey, domain_size: usize) -> ShardTally {
+        self.rounds
+            .remove(&key)
+            .map(ShardAccumulator::into_tally)
+            .unwrap_or_else(|| ShardTally::empty(domain_size))
+    }
+
+    /// Clone the current tally of each requested round *without*
+    /// finishing it (snapshot support).
+    pub fn checkpoint(&self, keys: &[(RoundKey, usize)]) -> Vec<ShardTally> {
+        keys.iter()
+            .map(|&(key, domain_size)| {
+                self.rounds
+                    .get(&key)
+                    .map(|s| s.tally().clone())
+                    .unwrap_or_else(|| ShardTally::empty(domain_size))
+            })
+            .collect()
+    }
+
+    /// Install a pre-filled accumulator for a recovered round.
+    pub fn seed(&mut self, key: RoundKey, oracle: OracleHandle, tally: ShardTally) {
+        self.rounds
+            .insert(key, ShardAccumulator::with_tally(key, oracle, tally));
     }
 }
 
@@ -197,5 +288,85 @@ mod tests {
     fn merge_rejects_mismatched_domains() {
         let mut a = ShardTally::empty(2);
         a.merge(&ShardTally::empty(3));
+    }
+
+    #[test]
+    fn fold_columns_matches_per_response_fold() {
+        let oracle = build_oracle(FoKind::Grr, 1.0, 5).unwrap();
+        let responses: Vec<UserResponse> = (0..20)
+            .map(|i| {
+                if i % 7 == 0 {
+                    UserResponse::Refused {
+                        round: 3,
+                        requested: 1.0,
+                        available: 0.0,
+                    }
+                } else {
+                    UserResponse::Report {
+                        round: 3,
+                        report: Report::Grr(i % 5),
+                    }
+                }
+            })
+            .collect();
+        let mut scalar = ShardAccumulator::new(key(), oracle.clone());
+        for r in &responses {
+            scalar.fold(r);
+        }
+        let batch = ColumnarBatch::encode(FoKind::Grr, 5, 3, responses);
+        let mut columnar = ShardAccumulator::new(key(), oracle);
+        columnar.fold_columns(&batch);
+        assert_eq!(scalar.into_tally(), columnar.into_tally());
+    }
+
+    #[test]
+    fn fold_columns_counts_whole_stale_batch() {
+        let oracle = build_oracle(FoKind::Grr, 1.0, 3).unwrap();
+        let responses = vec![
+            UserResponse::Report {
+                round: 9,
+                report: Report::Grr(1),
+            },
+            UserResponse::Refused {
+                round: 9,
+                requested: 1.0,
+                available: 0.0,
+            },
+        ];
+        // The batch self-validates against round 9; the shard owns
+        // round 3, so everything the batch carries counts as stale.
+        let batch = ColumnarBatch::encode(FoKind::Grr, 3, 9, responses);
+        let mut shard = ShardAccumulator::new(key(), oracle);
+        shard.fold_columns(&batch);
+        let tally = shard.into_tally();
+        assert_eq!(tally.stale, 2);
+        assert_eq!(tally.reporters, 0);
+        assert_eq!(tally.refusals, 0);
+        assert_eq!(tally.support, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn arena_lifecycle() {
+        let oracle = build_oracle(FoKind::Grr, 8.0, 3).unwrap();
+        let mut arena = ShardArena::new();
+        let responses: Vec<UserResponse> = (0..10)
+            .map(|_| UserResponse::Report {
+                round: 3,
+                report: Report::Grr(1),
+            })
+            .collect();
+        arena.ingest(Batch::encode(key(), &oracle, responses.clone()));
+        arena.ingest(Batch::encode(key(), &oracle, responses));
+        assert_eq!(arena.open_rounds(), 1);
+        let mid = arena.checkpoint(&[(key(), 3)]);
+        assert_eq!(mid[0].reporters, 20);
+        assert_eq!(arena.open_rounds(), 1, "checkpoint does not consume");
+        let tally = arena.close(key(), 3);
+        assert_eq!(tally.reporters, 20);
+        assert_eq!(tally.support, vec![0, 20, 0]);
+        assert_eq!(arena.open_rounds(), 0);
+        assert_eq!(arena.close(key(), 3).reporters, 0, "re-close is empty");
+        arena.seed(key(), oracle, tally);
+        assert_eq!(arena.close(key(), 3).reporters, 20);
     }
 }

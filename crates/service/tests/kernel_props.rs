@@ -1,0 +1,170 @@
+//! Property tests pinning the columnar fold path to the per-response
+//! scalar fold, through `ShardAccumulator` and the whole service.
+//!
+//! Stale and refused responses interleave arbitrarily with reports
+//! here: the columnar encode counts them at batch build time, and the
+//! resulting tallies — support counts, reporters, refusals, stale —
+//! must equal the per-response fold field for field.
+
+use ldp_fo::{build_oracle, FoKind, Report};
+use ldp_ids::protocol::{AggregationServer, UserResponse};
+use ldp_service::{
+    Batch, ColumnarBatch, IngestService, RoundKey, ServiceConfig, SessionId, ShardAccumulator,
+    ShardArena,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const ROUND: u64 = 5;
+
+/// A response stream with reports, refusals, and stale traffic mixed in.
+fn response_stream(kind: FoKind, eps: f64, d: usize, n: usize, seed: u64) -> Vec<UserResponse> {
+    let oracle = build_oracle(kind, eps, d).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0 => UserResponse::Refused {
+                round: ROUND,
+                requested: 1.0,
+                available: 0.0,
+            },
+            1 => UserResponse::Report {
+                round: ROUND + 1 + rng.gen_range(0..3u64),
+                report: oracle.perturb(rng.gen_range(0..d), &mut rng),
+            },
+            2 => UserResponse::Refused {
+                round: ROUND + 7,
+                requested: 1.0,
+                available: 0.0,
+            },
+            _ => UserResponse::Report {
+                round: ROUND,
+                report: oracle.perturb(rng.gen_range(0..d), &mut rng),
+            },
+        })
+        .collect()
+}
+
+fn key() -> RoundKey {
+    RoundKey {
+        session: SessionId::from_raw(1),
+        round: ROUND,
+    }
+}
+
+proptest! {
+    /// `fold_columns` over arbitrary batch boundaries equals the
+    /// per-response `fold`, tally field for tally field, with stale and
+    /// refused responses interleaved.
+    #[test]
+    fn fold_columns_matches_fold_through_interleavings(
+        kind_idx in 0usize..3,
+        eps in 0.2f64..4.0,
+        d in 2usize..130,
+        n in 0usize..250,
+        batch_size in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let kind = [FoKind::Grr, FoKind::Oue, FoKind::Olh][kind_idx];
+        let oracle = build_oracle(kind, eps, d).unwrap();
+        let responses = response_stream(kind, eps, d, n, seed);
+
+        let mut scalar = ShardAccumulator::new(key(), oracle.clone());
+        for response in &responses {
+            scalar.fold(response);
+        }
+
+        let mut columnar = ShardAccumulator::new(key(), oracle.clone());
+        for chunk in responses.chunks(batch_size) {
+            let batch = ColumnarBatch::encode(kind, d, ROUND, chunk.to_vec());
+            columnar.fold_columns(&batch);
+        }
+
+        prop_assert_eq!(scalar.into_tally(), columnar.into_tally());
+    }
+
+    /// The same stream through a whole `ShardArena` (the worker-side
+    /// state) still matches the per-response fold.
+    #[test]
+    fn arena_ingest_matches_fold(
+        kind_idx in 0usize..3,
+        eps in 0.2f64..4.0,
+        d in 2usize..100,
+        n in 1usize..200,
+        batch_size in 1usize..50,
+        seed in 0u64..1_000,
+    ) {
+        let kind = [FoKind::Grr, FoKind::Oue, FoKind::Olh][kind_idx];
+        let oracle = build_oracle(kind, eps, d).unwrap();
+        let responses = response_stream(kind, eps, d, n, seed);
+
+        let mut scalar = ShardAccumulator::new(key(), oracle.clone());
+        for response in &responses {
+            scalar.fold(response);
+        }
+
+        let mut arena = ShardArena::new();
+        for chunk in responses.chunks(batch_size) {
+            arena.ingest(Batch::encode(key(), &oracle, chunk.to_vec()));
+        }
+
+        prop_assert_eq!(scalar.into_tally(), arena.close(key(), d));
+    }
+}
+
+/// The acceptance pin: the sharded service's estimates are bit-identical
+/// to the sequential `AggregationServer` at 1, 2, and 8 shards, for
+/// every oracle.
+#[test]
+fn service_estimates_bit_identical_to_sequential_server() {
+    for kind in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
+        let (eps, d, n) = (1.0, 67, 4_000);
+        let oracle = build_oracle(kind, eps, d).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xc01_u64 + kind as u64);
+        let reports: Vec<Report> = (0..n)
+            .map(|_| oracle.perturb(rng.gen_range(0..d), &mut rng))
+            .collect();
+
+        // Sequential reference.
+        let mut server = AggregationServer::new();
+        let request = server.open_round(0, kind, eps, oracle.clone());
+        for report in &reports {
+            server
+                .submit(&UserResponse::Report {
+                    round: request.round,
+                    report: report.clone(),
+                })
+                .unwrap();
+        }
+        let reference = server.close_round().unwrap();
+
+        for shards in [1usize, 2, 8] {
+            let service = Arc::new(IngestService::new(
+                ServiceConfig::with_threads(shards).with_batch_size(64),
+            ));
+            let session = service.create_session().unwrap();
+            let req = service.open_round(session, 0, kind, eps, d).unwrap();
+            let responses: Vec<UserResponse> = reports
+                .iter()
+                .map(|report| UserResponse::Report {
+                    round: req.round,
+                    report: report.clone(),
+                })
+                .collect();
+            service.submit_batch(session, responses).unwrap();
+            let estimate = service.close_round(session).unwrap();
+            assert_eq!(estimate.reporters, reference.reporters);
+            assert_eq!(
+                estimate.frequencies.len(),
+                reference.frequencies.len(),
+                "{kind:?} x{shards}"
+            );
+            for (a, b) in estimate.frequencies.iter().zip(&reference.frequencies) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} x{shards}: {a} != {b}");
+            }
+            service.end_session(session).unwrap();
+        }
+    }
+}

@@ -19,17 +19,30 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The multiplier [`child_seed`] spreads labels with, exposed so hot
+/// loops can pre-multiply a label once and derive many children via
+/// [`child_seed_premul`].
+pub const LABEL_MUL: u64 = 0xa076_1d64_78bd_642f;
+
 /// Derive a child seed from `parent` and a label.
 ///
 /// Children with distinct labels are decorrelated; the derivation is
 /// deterministic so the same (parent, label) always yields the same child.
 #[inline]
 pub fn child_seed(parent: u64, label: u64) -> u64 {
+    child_seed_premul(parent, label.wrapping_mul(LABEL_MUL))
+}
+
+/// [`child_seed`] with the label already multiplied by [`LABEL_MUL`].
+///
+/// Bit-identical to `child_seed(parent, label)` when
+/// `premul_label == label.wrapping_mul(LABEL_MUL)`; loops that derive
+/// many children of the same label hoist the multiply through this.
+#[inline]
+pub fn child_seed_premul(parent: u64, premul_label: u64) -> u64 {
     // Two mixing rounds so that low-entropy (small-integer) labels still
     // produce well-spread children.
-    splitmix64(splitmix64(
-        parent ^ label.wrapping_mul(0xa076_1d64_78bd_642f),
-    ))
+    splitmix64(splitmix64(parent ^ premul_label))
 }
 
 /// Hash a string label into a `u64` for use with [`child_seed`].
@@ -130,6 +143,18 @@ mod tests {
     #[test]
     fn child_seed_distinguishes_parents() {
         assert_ne!(child_seed(1, 0), child_seed(2, 0));
+    }
+
+    #[test]
+    fn premul_matches_child_seed() {
+        for parent in [0u64, 1, 7, u64::MAX] {
+            for label in [0u64, 1, 63, 1024, u64::MAX] {
+                assert_eq!(
+                    child_seed(parent, label),
+                    child_seed_premul(parent, label.wrapping_mul(LABEL_MUL))
+                );
+            }
+        }
     }
 
     #[test]
