@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|recovery|all> [options]
+//! repro <fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|chaos|recovery|all> [options]
 //!
 //! options:
 //!   --quick          shrunk populations / truncated streams (same grids)
@@ -96,8 +96,9 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: repro \
-<fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|recovery|all> \
-[--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO] [--fo grr|oue|olh] [--domain N]";
+<fig4|fig5|fig6|fig7|fig8|table2|ablations|datasets|analysis|throughput|net-throughput|chaos|recovery|all> \
+[--quick] [--seeds N] [--json DIR] [--threads N] [--stamp ISO] [--fo grr|oue|olh] [--domain N]\n\
+note: `chaos` needs a build with `--features chaos`";
 
 /// Write a benchmark artifact to the repo root and, when `--json` names
 /// a directory, next to the figure JSONs too.
@@ -174,6 +175,44 @@ fn main() {
                 });
                 eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
                 continue;
+            }
+            // Runs the FlakyTransport chaos matrix + overload scenario
+            // and merges the counter block into an existing
+            // BENCH_net.json (or a fresh throughput sweep if none
+            // exists), preserving the throughput runs already recorded.
+            #[cfg(feature = "chaos")]
+            "chaos" => {
+                let host = HostMeta::capture(cli.stamp.clone());
+                let base = std::fs::read_to_string("BENCH_net.json")
+                    .ok()
+                    .and_then(|json| {
+                        serde_json::from_str::<experiments::net::NetBenchReport>(&json).ok()
+                    });
+                let mut report = match base {
+                    Some(report) => {
+                        eprintln!("# merging chaos block into existing BENCH_net.json");
+                        report
+                    }
+                    None => {
+                        eprintln!("# no BENCH_net.json; running the throughput sweep first");
+                        experiments::net::run(cli.scale, host)
+                    }
+                };
+                report.chaos = Some(experiments::net::run_chaos(cli.scale));
+                println!("{}", report.render());
+                write_artifact("BENCH_net.json", cli.json_dir.as_deref(), |path| {
+                    report.write_json(path)
+                });
+                eprintln!("# {target} done in {:.1}s", t0.elapsed().as_secs_f64());
+                continue;
+            }
+            #[cfg(not(feature = "chaos"))]
+            "chaos" => {
+                eprintln!(
+                    "error: the `chaos` target needs a chaos-enabled build:\n  \
+                     cargo run -p ldp_bench --features chaos --bin repro -- chaos --quick"
+                );
+                std::process::exit(2);
             }
             "recovery" => {
                 let host = HostMeta::capture(cli.stamp.clone());

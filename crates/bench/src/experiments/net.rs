@@ -45,6 +45,73 @@ pub struct NetRun {
     pub reports_per_sec: f64,
 }
 
+/// One fault kind driven through a `FlakyTransport` (feature `chaos`,
+/// `repro chaos`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCell {
+    /// Fault kind name (`corrupt`, `truncate`, ...).
+    pub fault: String,
+    /// Wall-clock seconds for the full round under sustained faults.
+    pub elapsed_secs: f64,
+    /// Reports that reached the closed round (must equal the cell's
+    /// input size — zero lost, zero duplicated).
+    pub reports: u64,
+    /// Faults the proxy injected during the run.
+    pub faults_injected: u64,
+    /// Connections the proxy carried (1 + reconnects).
+    pub proxy_connections: u64,
+    /// Client-side retry count (all causes).
+    pub client_retries: u64,
+    /// Client-side reconnect count.
+    pub client_reconnects: u64,
+    /// Retries caused by typed `Overloaded` rejections.
+    pub client_overloaded: u64,
+    /// RPC deadline expiries.
+    pub client_timeouts: u64,
+    /// Mean backoff slept per retry, milliseconds.
+    pub mean_backoff_ms: f64,
+    /// Whether the estimate matched the in-process reference bit for
+    /// bit (the run aborts if not, so a written artifact always says
+    /// `true` — recorded for the reader's benefit).
+    pub bit_identical: bool,
+}
+
+/// The overload scenario: one tenant floods past its rate limit while
+/// a co-tenant completes a round (feature `chaos`, `repro chaos`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverloadCell {
+    /// Submit frames admitted for the flooding tenant.
+    pub admitted: u64,
+    /// Submits shed by the token bucket.
+    pub shed_rate: u64,
+    /// Submits shed by the in-flight quota.
+    pub shed_inflight: u64,
+    /// Submits shed because the dispatcher queue was full.
+    pub shed_queue: u64,
+    /// Flooding client's total retries.
+    pub client_retries: u64,
+    /// Flooding client's retries caused by typed `Overloaded`.
+    pub client_overloaded: u64,
+    /// Flooding client's mean backoff per retry, milliseconds.
+    pub mean_backoff_ms: f64,
+    /// The co-tenant's round closed bit-identically with zero sheds.
+    pub co_tenant_ok: bool,
+    /// The flooding tenant's round itself converged bit-identically.
+    pub bit_identical: bool,
+}
+
+/// The chaos/overload block merged into `BENCH_net.json` by
+/// `repro chaos`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Reports driven through the proxy per fault cell.
+    pub reports_per_cell: u64,
+    /// One entry per fault kind.
+    pub cells: Vec<ChaosCell>,
+    /// The two-tenant overload scenario.
+    pub overload: OverloadCell,
+}
+
 /// The full sweep, as written to `BENCH_net.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetBenchReport {
@@ -66,6 +133,10 @@ pub struct NetBenchReport {
     pub host: HostMeta,
     /// One entry per client count in [`CLIENT_SWEEP`].
     pub runs: Vec<NetRun>,
+    /// Chaos/overload counters, populated by `repro chaos` (the
+    /// throughput sweep writes `null`; the vendored serde stub has no
+    /// field attributes, so the key is always present).
+    pub chaos: Option<ChaosReport>,
 }
 
 impl NetBenchReport {
@@ -79,7 +150,7 @@ impl NetBenchReport {
                 2,
             );
         }
-        format!(
+        let mut rendered = format!(
             "== net — {} reports/round over loopback, {} d={} ε={}, chunk {}, window {} ==\n{}\n{}",
             self.reports_per_round,
             self.fo,
@@ -89,7 +160,12 @@ impl NetBenchReport {
             self.window,
             table.render(),
             self.host.render()
-        )
+        );
+        if let Some(chaos) = &self.chaos {
+            rendered.push('\n');
+            rendered.push_str(&chaos.render());
+        }
+        rendered
     }
 
     /// Write the report as pretty JSON to `path`.
@@ -97,6 +173,52 @@ impl NetBenchReport {
         let json = serde_json::to_string_pretty(self).expect("net report serializes");
         std::fs::write(path, json)?;
         Ok(path.to_path_buf())
+    }
+}
+
+impl ChaosReport {
+    /// Render the chaos matrix and overload scenario as tables.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(vec![
+            "fault",
+            "elapsed s",
+            "faults",
+            "conns",
+            "retries",
+            "reconnects",
+            "backoff ms",
+        ]);
+        for cell in &self.cells {
+            table.push_numeric_row(
+                cell.fault.clone(),
+                &[
+                    cell.elapsed_secs,
+                    cell.faults_injected as f64,
+                    cell.proxy_connections as f64,
+                    cell.client_retries as f64,
+                    cell.client_reconnects as f64,
+                    cell.mean_backoff_ms,
+                ],
+                2,
+            );
+        }
+        let o = &self.overload;
+        format!(
+            "-- chaos: {} reports/cell through FlakyTransport, all cells bit-identical --\n{}\n\
+             -- overload: admitted {} / shed {} (rate {}, inflight {}, queue {}); \
+             flood retried {} ({} overloaded, mean backoff {:.1} ms); co-tenant ok: {} --",
+            self.reports_per_cell,
+            table.render(),
+            o.admitted,
+            o.shed_rate + o.shed_inflight + o.shed_queue,
+            o.shed_rate,
+            o.shed_inflight,
+            o.shed_queue,
+            o.client_retries,
+            o.client_overloaded,
+            o.mean_backoff_ms,
+            o.co_tenant_ok,
+        )
     }
 }
 
@@ -247,6 +369,193 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
         window: WINDOW,
         host,
         runs,
+        chaos: None,
+    }
+}
+
+/// Reports driven through the fault-injecting proxy per chaos cell.
+pub fn chaos_reports(scale: RunScale) -> u64 {
+    match scale {
+        RunScale::Quick => 2_000,
+        RunScale::Paper => 10_000,
+    }
+}
+
+/// Run the chaos matrix + overload scenario and return the counter
+/// block for `BENCH_net.json`. Compiled only with the `chaos` feature
+/// (`repro chaos`); every cell is asserted bit-identical to the
+/// sequential in-process estimate before the artifact is written.
+#[cfg(feature = "chaos")]
+pub fn run_chaos(scale: RunScale) -> ChaosReport {
+    use ldp_net::{
+        ChaosConfig, ClientOptions, ClientStats, FaultKind, FlakyTransport, RetryPolicy,
+    };
+    use ldp_service::{RateLimit, TenantLimits};
+    use std::time::Duration;
+
+    let (fo, epsilon, domain_size) = (FoKind::Oue, 1.0, 64);
+    let reports = chaos_reports(scale) as usize;
+    let oracle = build_oracle(fo, epsilon, domain_size).expect("valid oracle");
+    let mut rng = StdRng::seed_from_u64(0xc4a0_5eed);
+    let template: Vec<UserResponse> = (0..reports)
+        .map(|i| UserResponse::Report {
+            round: 0,
+            report: oracle.perturb(i % domain_size, &mut rng),
+        })
+        .collect();
+    let reference = sequential_reference(&oracle, fo, epsilon, &template);
+
+    let retry = |seed: u64| RetryPolicy {
+        max_retries: 80,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(50),
+        rpc_timeout: Duration::from_secs(2),
+        seed,
+    };
+    let chunk = 128usize;
+    let window = 4usize;
+
+    let drive = |addr: String,
+                 tenant: &str,
+                 part: &[UserResponse],
+                 seed: u64|
+     -> (u64, Vec<f64>, ClientStats) {
+        let mut client = NetClient::connect_with(
+            addr,
+            tenant,
+            ClientOptions::default().window(window).retry(retry(seed)),
+        )
+        .expect("connect through proxy");
+        client
+            .open_round_with(0, fo, epsilon, domain_size)
+            .expect("open round");
+        for delta in part.chunks(chunk) {
+            client.submit_batch(delta.to_vec()).expect("submit batch");
+        }
+        let estimate = client.close_round().expect("close round");
+        (estimate.reporters, estimate.frequencies, client.stats())
+    };
+
+    let mut cells = Vec::with_capacity(FaultKind::ALL.len());
+    for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantSpec::in_memory(
+                "chaos",
+                ServiceConfig::with_threads(2),
+            ))
+            .expect("register tenant");
+        let server =
+            NetServer::start("127.0.0.1:0", &registry, ServerConfig::default()).expect("server");
+        // Lethal kinds sever the connection per fault; give recovery's
+        // replay burst room between them.
+        let gap = match kind {
+            FaultKind::Kill | FaultKind::Truncate | FaultKind::Corrupt => 32 * 1024,
+            FaultKind::PartialWrite | FaultKind::Latency => 8 * 1024,
+        };
+        let proxy = FlakyTransport::start(
+            server.addr(),
+            ChaosConfig {
+                kind,
+                seed: 9000 + i as u64,
+                mean_fault_gap: gap,
+                spike: Duration::from_millis(10),
+            },
+        )
+        .expect("proxy");
+
+        let start = Instant::now();
+        let (reporters, frequencies, stats) =
+            drive(proxy.addr().to_string(), "chaos", &template, 77 + i as u64);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(
+            reporters,
+            reports as u64,
+            "{}: lost/dup reports",
+            kind.name()
+        );
+        assert_bit_identical(&frequencies, &reference);
+        let snapshot = proxy.shutdown();
+        server.shutdown();
+        cells.push(ChaosCell {
+            fault: kind.name().into(),
+            elapsed_secs: elapsed,
+            reports: reporters,
+            faults_injected: snapshot.faults(),
+            proxy_connections: snapshot.connections,
+            client_retries: stats.retries,
+            client_reconnects: stats.reconnects,
+            client_overloaded: stats.overloaded,
+            client_timeouts: stats.timeouts,
+            mean_backoff_ms: stats.mean_backoff_ms(),
+            bit_identical: true,
+        });
+    }
+
+    // Overload scenario: a rate-limited tenant floods (and is shed with
+    // typed Overloaded frames) while an open co-tenant closes a round.
+    let registry = TenantRegistry::new();
+    registry
+        .register(
+            TenantSpec::in_memory("flood", ServiceConfig::with_threads(2)).with_limits(
+                TenantLimits {
+                    rate: Some(RateLimit {
+                        reports_per_sec: chaos_reports(scale) as f64,
+                        burst: chunk as u64 * 2,
+                    }),
+                    ..TenantLimits::open()
+                },
+            ),
+        )
+        .expect("register flood tenant");
+    registry
+        .register(TenantSpec::in_memory(
+            "calm",
+            ServiceConfig::with_threads(2),
+        ))
+        .expect("register calm tenant");
+    let server =
+        NetServer::start("127.0.0.1:0", &registry, ServerConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+
+    let calm_part: Vec<UserResponse> = template[..reports / 2].to_vec();
+    let calm_reference = sequential_reference(&oracle, fo, epsilon, &calm_part);
+    let (flood_stats, co_tenant_ok) = std::thread::scope(|scope| {
+        let flood_addr = addr.clone();
+        let (drive, reference, flood_part) = (&drive, &reference, &template);
+        let flood = scope.spawn(move || {
+            let (reporters, frequencies, stats) = drive(flood_addr, "flood", flood_part, 501);
+            assert_eq!(reporters, reports as u64, "flood lost/dup reports");
+            assert_bit_identical(&frequencies, reference);
+            stats
+        });
+        let (calm_reporters, calm_frequencies, _) = drive(addr.clone(), "calm", &calm_part, 502);
+        assert_eq!(calm_reporters, calm_part.len() as u64);
+        assert_bit_identical(&calm_frequencies, &calm_reference);
+        (flood.join().expect("flood thread"), true)
+    });
+    let snap = server
+        .admission_snapshot("flood")
+        .expect("flood admission counters");
+    let calm_snap = server
+        .admission_snapshot("calm")
+        .expect("calm admission counters");
+    server.shutdown();
+
+    ChaosReport {
+        reports_per_cell: reports as u64,
+        cells,
+        overload: OverloadCell {
+            admitted: snap.admitted,
+            shed_rate: snap.shed_rate,
+            shed_inflight: snap.shed_inflight,
+            shed_queue: snap.shed_queue,
+            client_retries: flood_stats.retries,
+            client_overloaded: flood_stats.overloaded,
+            mean_backoff_ms: flood_stats.mean_backoff_ms(),
+            co_tenant_ok: co_tenant_ok && calm_snap.shed_rate == 0 && calm_snap.shed_inflight == 0,
+            bit_identical: true,
+        },
     }
 }
 

@@ -1,0 +1,176 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! [`RetryPolicy`] is the client's answer to the server's overload
+//! protection: every RPC gets a deadline, every retryable failure gets
+//! a backoff that doubles up to a cap, and the jitter decorrelating
+//! concurrent clients is *deterministic* — derived from the policy's
+//! seed and the attempt index through the workspace's
+//! [`child_seed`](ldp_util::rng::child_seed) tree, so a replayed run
+//! backs off identically and chaos tests stay reproducible.
+//!
+//! A server-sent `retry_after_ms` hint (from
+//! [`WireError::Overloaded`](crate::frame::WireError::Overloaded))
+//! takes precedence when it is longer than the computed backoff.
+
+use std::time::Duration;
+
+/// Retry/timeout policy for [`NetClient`](crate::NetClient) RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per RPC after the initial attempt; 0 disables retrying.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Deadline for each RPC attempt (send + matching reply).
+    pub rpc_timeout: Duration,
+    /// Seed of the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            rpc_timeout: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries and an effectively unlimited RPC deadline — the
+    /// pre-backoff behaviour, where every failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::from_millis(0),
+            cap: Duration::from_millis(0),
+            rpc_timeout: Duration::from_secs(3600),
+            seed: 0,
+        }
+    }
+
+    /// Use a different jitter seed (e.g. one per client).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry `attempt` (0-based), honoring an
+    /// optional server `retry_after` hint.
+    ///
+    /// The computed delay is `min(base << attempt, cap)` scaled by a
+    /// deterministic jitter factor in `[0.5, 1.0)`; the result is never
+    /// shorter than the server's hint.
+    pub fn delay(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        let shift = attempt.min(16);
+        let exp = self
+            .base
+            .checked_mul(1u32 << shift)
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // Map 64 bits of child_seed onto [0.5, 1.0): full jitter would
+        // sometimes retry immediately; half-jitter keeps a floor while
+        // still decorrelating concurrent clients.
+        let bits = ldp_util::rng::child_seed(self.seed, u64::from(attempt));
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = exp.mul_f64(0.5 + unit / 2.0);
+        match retry_after {
+            Some(hint) => jittered.max(hint),
+            None => jittered,
+        }
+    }
+}
+
+/// Monotonic counters of one client's retry behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// RPC attempts that failed retryably and were retried.
+    pub retries: u64,
+    /// Fresh connections opened by recovery (not counting the first).
+    pub reconnects: u64,
+    /// Typed `Overloaded` rejections observed.
+    pub overloaded: u64,
+    /// RPC deadlines that expired.
+    pub timeouts: u64,
+    /// Total time spent sleeping in backoff.
+    pub backoff_total: Duration,
+}
+
+impl ClientStats {
+    /// Mean backoff per retry, in milliseconds (0 when never retried).
+    pub fn mean_backoff_ms(&self) -> f64 {
+        if self.retries == 0 {
+            0.0
+        } else {
+            self.backoff_total.as_secs_f64() * 1000.0 / self.retries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_deterministic_and_seed_sensitive() {
+        let p = RetryPolicy::default().with_seed(42);
+        assert_eq!(p.delay(3, None), p.delay(3, None));
+        let q = RetryPolicy::default().with_seed(43);
+        assert_ne!(p.delay(3, None), q.delay(3, None));
+    }
+
+    #[test]
+    fn delay_grows_geometrically_to_the_cap() {
+        let p = RetryPolicy {
+            max_retries: 32,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(400),
+            rpc_timeout: Duration::from_secs(1),
+            seed: 7,
+        };
+        for attempt in 0..32 {
+            let d = p.delay(attempt, None);
+            let exp = Duration::from_millis(10)
+                .checked_mul(1u32 << attempt.min(16))
+                .unwrap_or(p.cap)
+                .min(p.cap);
+            assert!(d >= exp.mul_f64(0.5), "attempt {attempt}: {d:?} < half");
+            assert!(d < exp, "attempt {attempt}: {d:?} >= uncapped {exp:?}");
+        }
+        // Far attempts saturate at the cap (times jitter).
+        assert!(p.delay(31, None) <= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn server_hint_is_a_floor() {
+        let p = RetryPolicy::default().with_seed(1);
+        let hint = Duration::from_secs(5);
+        assert_eq!(p.delay(0, Some(hint)), hint);
+        // A hint shorter than the computed backoff does not shrink it.
+        let tiny = Duration::from_nanos(1);
+        assert_eq!(p.delay(4, Some(tiny)), p.delay(4, None));
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_retries, 0);
+    }
+
+    #[test]
+    fn mean_backoff_handles_zero_retries() {
+        let stats = ClientStats::default();
+        assert_eq!(stats.mean_backoff_ms(), 0.0);
+        let stats = ClientStats {
+            retries: 4,
+            backoff_total: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert!((stats.mean_backoff_ms() - 25.0).abs() < 1e-9);
+    }
+}

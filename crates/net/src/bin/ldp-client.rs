@@ -3,9 +3,10 @@
 //! bit-identical to the in-process sequential `AggregationServer`.
 //!
 //! ```text
-//! ldp-client --addr HOST:PORT [--tenant NAME] [--fo grr|oue|olh|adaptive]
-//!            [--epsilon E] [--domain D] [--reports N] [--seed S]
-//!            [--chunk C] [--window W] [--check-inprocess]
+//! ldp-client --addr HOST:PORT [--tenant NAME] [--token TOKEN]
+//!            [--fo grr|oue|olh|adaptive] [--epsilon E] [--domain D]
+//!            [--reports N] [--seed S] [--chunk C] [--window W]
+//!            [--check-inprocess]
 //! ```
 //!
 //! Reports are generated deterministically from `--seed` (value drawn,
@@ -19,15 +20,16 @@
 
 use ldp_fo::{build_oracle, FoKind};
 use ldp_ids::protocol::{AggregationServer, UserResponse};
-use ldp_net::NetClient;
+use ldp_net::{ClientOptions, NetClient, NetError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ldp-client --addr HOST:PORT [--tenant NAME] [--fo KIND] [--epsilon E] \
-         [--domain D] [--reports N] [--seed S] [--chunk C] [--window W] [--check-inprocess]"
+        "usage: ldp-client --addr HOST:PORT [--tenant NAME] [--token TOKEN] [--fo KIND] \
+         [--epsilon E] [--domain D] [--reports N] [--seed S] [--chunk C] [--window W] \
+         [--check-inprocess]"
     );
     std::process::exit(2);
 }
@@ -35,6 +37,7 @@ fn usage() -> ! {
 struct Opts {
     addr: String,
     tenant: String,
+    token: Option<String>,
     fo: FoKind,
     epsilon: f64,
     domain: usize,
@@ -49,6 +52,7 @@ fn parse_opts() -> Opts {
     let mut opts = Opts {
         addr: String::new(),
         tenant: "default".into(),
+        token: None,
         fo: FoKind::Grr,
         epsilon: 1.0,
         domain: 16,
@@ -73,6 +77,7 @@ fn parse_opts() -> Opts {
         match arg.as_str() {
             "--addr" => opts.addr = value(&mut args, "--addr"),
             "--tenant" => opts.tenant = value(&mut args, "--tenant"),
+            "--token" => opts.token = Some(value(&mut args, "--token")),
             "--fo" => opts.fo = value(&mut args, "--fo"),
             "--epsilon" => opts.epsilon = value(&mut args, "--epsilon"),
             "--domain" => opts.domain = value(&mut args, "--domain"),
@@ -95,17 +100,34 @@ fn parse_opts() -> Opts {
     opts
 }
 
+/// Render a `NetError` with its retry classification, so operators can
+/// tell a "back off and retry" rejection from a fatal one at a glance.
+fn describe(e: &NetError) -> String {
+    let retryable = if e.retryable() {
+        match e.retry_after() {
+            Some(after) => format!("retryable, retry after {} ms", after.as_millis()),
+            None => "retryable".into(),
+        }
+    } else {
+        "not retryable".into()
+    };
+    format!("{e} [{retryable}]")
+}
+
 fn run(opts: &Opts) -> Result<(), String> {
     let oracle =
         build_oracle(opts.fo, opts.epsilon, opts.domain).map_err(|e| format!("oracle: {e}"))?;
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
-    let mut client = NetClient::connect(opts.addr.clone(), opts.tenant.clone())
-        .map_err(|e| format!("connect {}: {e}", opts.addr))?
-        .with_window(opts.window);
+    let mut options = ClientOptions::default().window(opts.window);
+    if let Some(token) = &opts.token {
+        options = options.token(token.clone());
+    }
+    let mut client = NetClient::connect_with(opts.addr.clone(), opts.tenant.clone(), options)
+        .map_err(|e| format!("connect {}: {}", opts.addr, describe(&e)))?;
     let request = client
         .open_round_with(0, opts.fo, opts.epsilon, opts.domain)
-        .map_err(|e| format!("open round: {e}"))?;
+        .map_err(|e| format!("open round: {}", describe(&e)))?;
 
     // The sequential reference consumes the byte-for-byte same stream.
     let mut reference = opts.check_inprocess.then(|| {
@@ -136,12 +158,12 @@ fn run(opts: &Opts) -> Result<(), String> {
         }
         client
             .submit_batch(batch)
-            .map_err(|e| format!("submit at seq {}: {e}", client.next_seq()))?;
+            .map_err(|e| format!("submit at seq {}: {}", client.next_seq(), describe(&e)))?;
         sent += n;
     }
     let estimate = client
         .close_round()
-        .map_err(|e| format!("close round: {e}"))?;
+        .map_err(|e| format!("close round: {}", describe(&e)))?;
     let elapsed = start.elapsed().as_secs_f64();
 
     println!(
@@ -151,6 +173,17 @@ fn run(opts: &Opts) -> Result<(), String> {
         estimate.frequencies.len(),
         opts.reports as f64 / elapsed.max(1e-9),
     );
+    let stats = client.stats();
+    if stats.retries > 0 {
+        println!(
+            "retried {} times ({} reconnects, {} overloaded, {} timeouts, mean backoff {:.1} ms)",
+            stats.retries,
+            stats.reconnects,
+            stats.overloaded,
+            stats.timeouts,
+            stats.mean_backoff_ms(),
+        );
+    }
 
     if let Some(server) = reference.as_mut() {
         let expected = server

@@ -1,0 +1,445 @@
+//! `FlakyTransport`: a fault-injecting TCP proxy for network chaos
+//! tests (compiled only under the `chaos` feature).
+//!
+//! The proxy sits between a [`NetClient`](crate::NetClient) and a
+//! [`NetServer`](crate::NetServer) and injects one class of fault into
+//! the forwarded byte stream, in both directions:
+//!
+//! * [`FaultKind::Corrupt`] — flip one byte (caught by the frame CRC;
+//!   the victim replies `BadFrame` / fails decode and the connection
+//!   resynchronizes by reconnect);
+//! * [`FaultKind::Truncate`] — forward a prefix of a chunk, then kill
+//!   the connection (a torn frame on the victim's buffer);
+//! * [`FaultKind::PartialWrite`] — deliver a region byte-dribbled in
+//!   1–7-byte writes with pauses (exercises incremental reframing; the
+//!   stream stays correct);
+//! * [`FaultKind::Kill`] — drop the connection cold. The client's
+//!   reconnect replays its in-flight suffix, so kills double as
+//!   *reorder-by-reconnect*: replayed deltas interleave differently
+//!   with fresh ones on the new connection;
+//! * [`FaultKind::Latency`] — stall the stream for a spike, long
+//!   enough to trip RPC deadlines when configured so.
+//!
+//! Fault positions are drawn from a deterministic per-connection,
+//! per-direction RNG seeded from [`ChaosConfig::seed`] through the
+//! workspace's seed tree, so a chaos run is exactly reproducible.
+//!
+//! The protocol invariant under all of this: because deltas are
+//! sequenced and idempotent and floats travel as bit patterns, a round
+//! driven through a `FlakyTransport` converges to an estimate
+//! **f64-bit-identical** to an in-process run, with zero lost or
+//! duplicated reports — the chaos matrix in `tests/chaos.rs` pins it.
+
+use ldp_util::rng::child_seed;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The class of fault a [`FlakyTransport`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one forwarded byte.
+    Corrupt,
+    /// Forward a prefix, then kill the connection.
+    Truncate,
+    /// Dribble a region in tiny delayed writes (data unchanged).
+    PartialWrite,
+    /// Kill the connection cold (also exercises reorder-by-reconnect).
+    Kill,
+    /// Stall the stream for a latency spike.
+    Latency,
+}
+
+impl FaultKind {
+    /// Every fault kind, for matrix tests.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Corrupt,
+        FaultKind::Truncate,
+        FaultKind::PartialWrite,
+        FaultKind::Kill,
+        FaultKind::Latency,
+    ];
+
+    /// Stable lower-case name (bench artifacts, test labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+            FaultKind::PartialWrite => "partial-write",
+            FaultKind::Kill => "kill",
+            FaultKind::Latency => "latency",
+        }
+    }
+}
+
+/// Configuration of one [`FlakyTransport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// The fault class to inject.
+    pub kind: FaultKind,
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Mean forwarded bytes between fault injections (per direction).
+    /// Actual gaps are drawn uniformly from `[gap/2, 3·gap/2)`. Size
+    /// this at least ~2× the client's replay burst (window × frame
+    /// size) or lethal faults can outpace recovery.
+    pub mean_fault_gap: u64,
+    /// Duration of a [`FaultKind::Latency`] stall.
+    pub spike: Duration,
+}
+
+impl ChaosConfig {
+    /// A config with test-friendly defaults (64 KiB mean gap, 30 ms
+    /// spikes).
+    pub fn new(kind: FaultKind, seed: u64) -> Self {
+        ChaosConfig {
+            kind,
+            seed,
+            mean_fault_gap: 64 * 1024,
+            spike: Duration::from_millis(30),
+        }
+    }
+}
+
+/// Monotonic counters of injected faults and forwarded traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosSnapshot {
+    /// Connections proxied.
+    pub connections: u64,
+    /// Bytes forwarded (both directions).
+    pub bytes_forwarded: u64,
+    /// Bytes corrupted.
+    pub corruptions: u64,
+    /// Connections truncated mid-frame.
+    pub truncations: u64,
+    /// Regions delivered as dribbled partial writes.
+    pub partial_writes: u64,
+    /// Connections killed cold.
+    pub kills: u64,
+    /// Latency spikes injected.
+    pub latency_spikes: u64,
+}
+
+impl ChaosSnapshot {
+    /// Total faults injected, across kinds.
+    pub fn faults(&self) -> u64 {
+        self.corruptions + self.truncations + self.partial_writes + self.kills + self.latency_spikes
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChaosStats {
+    connections: AtomicU64,
+    bytes_forwarded: AtomicU64,
+    corruptions: AtomicU64,
+    truncations: AtomicU64,
+    partial_writes: AtomicU64,
+    kills: AtomicU64,
+    latency_spikes: AtomicU64,
+}
+
+/// A running fault-injecting proxy. Connect clients to
+/// [`addr`](Self::addr); it forwards to the upstream server.
+pub struct FlakyTransport {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: Arc<ChaosStats>,
+}
+
+impl FlakyTransport {
+    /// Bind an ephemeral local port and proxy every accepted connection
+    /// to `upstream`, injecting `config`'s faults.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<FlakyTransport> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ChaosStats::default());
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let pumps = Arc::clone(&pumps);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || {
+                    let mut conn_idx: u64 = 0;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match listener.accept() {
+                            Ok((client, _peer)) => {
+                                let Ok(server) = TcpStream::connect(upstream) else {
+                                    let _ = client.shutdown(Shutdown::Both);
+                                    continue;
+                                };
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                spawn_pumps(
+                                    client, server, conn_idx, config, &stop, &stats, &pumps,
+                                );
+                                conn_idx += 1;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .expect("spawn chaos accept thread")
+        };
+
+        Ok(FlakyTransport {
+            addr,
+            stop,
+            accept: Some(accept),
+            pumps,
+            stats,
+        })
+    }
+
+    /// The proxy's listening address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the fault/traffic counters.
+    pub fn snapshot(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            bytes_forwarded: self.stats.bytes_forwarded.load(Ordering::Relaxed),
+            corruptions: self.stats.corruptions.load(Ordering::Relaxed),
+            truncations: self.stats.truncations.load(Ordering::Relaxed),
+            partial_writes: self.stats.partial_writes.load(Ordering::Relaxed),
+            kills: self.stats.kills.load(Ordering::Relaxed),
+            latency_spikes: self.stats.latency_spikes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, sever every proxied connection, join all pumps.
+    pub fn shutdown(mut self) -> ChaosSnapshot {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.pumps.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.snapshot()
+    }
+}
+
+impl Drop for FlakyTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    conn_idx: u64,
+    config: ChaosConfig,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<ChaosStats>,
+    pumps: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let pairs = [
+        (client.try_clone(), server.try_clone(), 0u64), // client → server
+        (server.try_clone(), client.try_clone(), 1u64), // server → client
+    ];
+    for (from, to, dir) in pairs {
+        let (Ok(from), Ok(to)) = (from, to) else {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = server.shutdown(Shutdown::Both);
+            return;
+        };
+        let stop = Arc::clone(stop);
+        let stats = Arc::clone(stats);
+        let handle = std::thread::Builder::new()
+            .name(format!("chaos-pump-{conn_idx}-{dir}"))
+            .spawn(move || {
+                let seed = child_seed(config.seed, conn_idx * 2 + dir);
+                pump(from, to, seed, config, &stop, &stats);
+            })
+            .expect("spawn chaos pump thread");
+        pumps.lock().unwrap().push(handle);
+    }
+}
+
+/// Deterministic stream of draws: each call re-mixes the state.
+fn next_draw(state: &mut u64) -> u64 {
+    *state = child_seed(*state, 1);
+    *state
+}
+
+/// Bytes until the next fault: uniform over `[gap/2, 3·gap/2)`.
+fn draw_gap(state: &mut u64, config: &ChaosConfig) -> u64 {
+    let gap = config.mean_fault_gap.max(2);
+    gap / 2 + next_draw(state) % gap
+}
+
+/// Forward `from` → `to`, injecting `config.kind` faults at the drawn
+/// positions, until EOF, error, or proxy shutdown.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    seed: u64,
+    config: ChaosConfig,
+    stop: &AtomicBool,
+    stats: &ChaosStats,
+) {
+    let mut state = seed;
+    let mut until_fault = draw_gap(&mut state, &config);
+    if from
+        .set_read_timeout(Some(Duration::from_millis(25)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf = [0u8; 4096];
+    let sever = |a: &TcpStream, b: &TcpStream| {
+        let _ = a.shutdown(Shutdown::Both);
+        let _ = b.shutdown(Shutdown::Both);
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            sever(&from, &to);
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                sever(&from, &to);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                sever(&from, &to);
+                return;
+            }
+        };
+        let chunk = &mut buf[..n];
+        if (n as u64) < until_fault {
+            until_fault -= n as u64;
+            if to.write_all(chunk).is_err() {
+                sever(&from, &to);
+                return;
+            }
+            stats.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+            continue;
+        }
+        // The fault lands inside this chunk.
+        let at = (until_fault as usize).saturating_sub(1).min(n - 1);
+        until_fault = draw_gap(&mut state, &config);
+        match config.kind {
+            FaultKind::Corrupt => {
+                let flip = (next_draw(&mut state) % 255 + 1) as u8;
+                chunk[at] ^= flip;
+                stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(chunk).is_err() {
+                    sever(&from, &to);
+                    return;
+                }
+                stats.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            FaultKind::Truncate => {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                let _ = to.write_all(&chunk[..at]);
+                stats
+                    .bytes_forwarded
+                    .fetch_add(at as u64, Ordering::Relaxed);
+                sever(&from, &to);
+                return;
+            }
+            FaultKind::PartialWrite => {
+                stats.partial_writes.fetch_add(1, Ordering::Relaxed);
+                let mut off = 0usize;
+                while off < n {
+                    let step = (1 + (next_draw(&mut state) % 7) as usize).min(n - off);
+                    if to.write_all(&chunk[off..off + step]).is_err() {
+                        sever(&from, &to);
+                        return;
+                    }
+                    off += step;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                stats.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            FaultKind::Kill => {
+                stats.kills.fetch_add(1, Ordering::Relaxed);
+                let _ = to.write_all(&chunk[..at]);
+                stats
+                    .bytes_forwarded
+                    .fetch_add(at as u64, Ordering::Relaxed);
+                sever(&from, &to);
+                return;
+            }
+            FaultKind::Latency => {
+                stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(config.spike);
+                if to.write_all(chunk).is_err() {
+                    sever(&from, &to);
+                    return;
+                }
+                stats.bytes_forwarded.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let config = ChaosConfig::new(FaultKind::Corrupt, 42);
+        let mut a = child_seed(42, 0);
+        let mut b = child_seed(42, 0);
+        for _ in 0..32 {
+            assert_eq!(draw_gap(&mut a, &config), draw_gap(&mut b, &config));
+        }
+        let gap = config.mean_fault_gap;
+        let mut s = child_seed(42, 7);
+        for _ in 0..1000 {
+            let g = draw_gap(&mut s, &config);
+            assert!(g >= gap / 2 && g < gap / 2 + gap);
+        }
+    }
+
+    #[test]
+    fn directions_and_connections_draw_distinct_schedules() {
+        let config = ChaosConfig::new(FaultKind::Kill, 9);
+        let mut up = child_seed(9, 0);
+        let mut down = child_seed(9, 1);
+        let mut next_conn = child_seed(9, 2);
+        let a = draw_gap(&mut up, &config);
+        let b = draw_gap(&mut down, &config);
+        let c = draw_gap(&mut next_conn, &config);
+        assert!(a != b || b != c, "schedules should be decorrelated");
+    }
+
+    #[test]
+    fn fault_kind_names_are_stable() {
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["corrupt", "truncate", "partial-write", "kill", "latency"]
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! [`NetClient`]: the typed client side of the wire protocol, with
-//! pipelined submits and reconnect-and-resume.
+//! pipelined submits, deadlines, retry with backoff, and
+//! reconnect-and-resume.
 //!
 //! The client mirrors a session's sequencing state (`next_round`,
 //! `next_seq`) and drives the idempotent `*_at` server calls with it.
@@ -10,26 +11,86 @@
 //! replays the rest — duplicates are no-ops server-side, so the round
 //! converges to exactly the state an uninterrupted run would have
 //! reached.
+//!
+//! **Retry discipline.** Every RPC carries a deadline
+//! ([`RetryPolicy::rpc_timeout`]); a missed deadline is a typed
+//! [`NetError::Timeout`]. Every retryable failure — transport I/O,
+//! framing corruption, timeout, or a typed retryable rejection such as
+//! [`WireError::Overloaded`](crate::frame::WireError::Overloaded) — is
+//! handled the same way: back off (capped exponential with
+//! deterministic jitter, honoring the server's `retry_after_ms` hint),
+//! reconnect, resume, replay, and try again. Resynchronizing through
+//! `Hello` on every retry means the client never has to reason about
+//! *which* frames survived a half-dead connection; the idempotent
+//! sequencing makes the replayed duplicates no-ops, so retries never
+//! double-count a report.
 
+use crate::backoff::{ClientStats, RetryPolicy};
 use crate::codec::{encode_frame, FrameBuffer};
 use crate::error::NetError;
-use crate::frame::{AckBody, Frame};
+use crate::frame::{AckBody, Frame, WireError};
 use ldp_fo::FoKind;
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Default number of unacknowledged `SubmitBatch` frames the client
 /// keeps in flight before blocking on acks.
 pub const DEFAULT_WINDOW: usize = 32;
+
+/// How often a blocked read wakes to check the RPC deadline.
+const READ_POLL: Duration = Duration::from_millis(20);
+
+/// Connection-time options for [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Pipelining window (unacked submits in flight).
+    pub window: usize,
+    /// Shared secret presented in `Hello` for tenants requiring auth.
+    pub token: Option<String>,
+    /// Deadline/backoff/retry policy for every RPC.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            window: DEFAULT_WINDOW,
+            token: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Set the pipelining window.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Present `token` as the tenant's shared secret.
+    pub fn token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Use `retry` as the deadline/backoff policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
 
 /// A connected, session-bound protocol client.
 #[derive(Debug)]
 pub struct NetClient {
     addr: String,
     tenant: String,
+    token: Option<String>,
     stream: TcpStream,
     fb: FrameBuffer,
     session: u64,
@@ -45,12 +106,14 @@ pub struct NetClient {
     /// still produces exactly one reply to consume.
     unacked: usize,
     window: usize,
+    retry: RetryPolicy,
+    stats: ClientStats,
 }
 
 impl NetClient {
     /// Connect to `addr` and open a fresh session on `tenant`.
     pub fn connect(addr: impl Into<String>, tenant: impl Into<String>) -> Result<Self, NetError> {
-        Self::attach(addr.into(), tenant.into(), None)
+        Self::attach(addr.into(), tenant.into(), None, ClientOptions::default())
     }
 
     /// Connect to `addr` and resume existing `session` on `tenant`.
@@ -59,15 +122,73 @@ impl NetClient {
         tenant: impl Into<String>,
         session: u64,
     ) -> Result<Self, NetError> {
-        Self::attach(addr.into(), tenant.into(), Some(session))
+        Self::attach(
+            addr.into(),
+            tenant.into(),
+            Some(session),
+            ClientOptions::default(),
+        )
     }
 
-    fn attach(addr: String, tenant: String, resume: Option<u64>) -> Result<Self, NetError> {
-        let stream = TcpStream::connect(&addr)?;
-        stream.set_nodelay(true)?;
+    /// [`connect`](Self::connect) with explicit [`ClientOptions`].
+    pub fn connect_with(
+        addr: impl Into<String>,
+        tenant: impl Into<String>,
+        options: ClientOptions,
+    ) -> Result<Self, NetError> {
+        Self::attach(addr.into(), tenant.into(), None, options)
+    }
+
+    /// [`resume`](Self::resume) with explicit [`ClientOptions`].
+    pub fn resume_with(
+        addr: impl Into<String>,
+        tenant: impl Into<String>,
+        session: u64,
+        options: ClientOptions,
+    ) -> Result<Self, NetError> {
+        Self::attach(addr.into(), tenant.into(), Some(session), options)
+    }
+
+    fn attach(
+        addr: String,
+        tenant: String,
+        resume: Option<u64>,
+        options: ClientOptions,
+    ) -> Result<Self, NetError> {
+        let retry = options.retry;
+        let mut attempt: u32 = 0;
+        let mut retries: u64 = 0;
+        let mut backoff_total = Duration::ZERO;
+        loop {
+            match Self::attach_once(&addr, &tenant, resume, &options) {
+                Ok(mut client) => {
+                    client.stats.retries = retries;
+                    client.stats.backoff_total = backoff_total;
+                    return Ok(client);
+                }
+                Err(e) if e.retryable() && attempt < retry.max_retries => {
+                    let delay = retry.delay(attempt, e.retry_after());
+                    std::thread::sleep(delay);
+                    backoff_total += delay;
+                    retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn attach_once(
+        addr: &str,
+        tenant: &str,
+        resume: Option<u64>,
+        options: &ClientOptions,
+    ) -> Result<Self, NetError> {
+        let stream = connect_stream(addr, options.retry.rpc_timeout)?;
         let mut client = NetClient {
-            addr,
-            tenant,
+            addr: addr.to_string(),
+            tenant: tenant.to_string(),
+            token: options.token.clone(),
             stream,
             fb: FrameBuffer::new(),
             session: 0,
@@ -77,7 +198,9 @@ impl NetClient {
             next_seq: 0,
             inflight: VecDeque::new(),
             unacked: 0,
-            window: DEFAULT_WINDOW,
+            window: options.window.max(1),
+            retry: options.retry,
+            stats: ClientStats::default(),
         };
         client.hello(resume)?;
         Ok(client)
@@ -104,6 +227,11 @@ impl NetClient {
         self.open_round
     }
 
+    /// Counters of this client's retry/reconnect behaviour.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
     /// Sever the connection without closing the session — test/ops
     /// helper simulating a network drop. Follow with
     /// [`recover`](Self::recover).
@@ -118,9 +246,8 @@ impl NetClient {
     /// queue, the rest is re-sent. Safe to call even if the old
     /// connection is still healthy.
     pub fn recover(&mut self) -> Result<(), NetError> {
-        let stream = TcpStream::connect(&self.addr)?;
-        stream.set_nodelay(true)?;
-        self.stream = stream;
+        self.stream = connect_stream(&self.addr, self.retry.rpc_timeout)?;
+        self.stats.reconnects += 1;
         self.fb.clear();
         // Replies in flight on the dead connection are gone with it.
         self.unacked = 0;
@@ -148,6 +275,10 @@ impl NetClient {
     }
 
     /// Open the next collection round at timestamp `t`.
+    ///
+    /// Retryable failures back off, reconnect, and resend the *same*
+    /// round id — the idempotent re-open returns the recorded request,
+    /// so a retry after a lost ack cannot open a second round.
     pub fn open_round_with(
         &mut self,
         t: u64,
@@ -155,32 +286,43 @@ impl NetClient {
         epsilon: f64,
         domain_size: usize,
     ) -> Result<ReportRequest, NetError> {
-        self.drain_acks(0)?;
-        let corr = self.corr();
-        let request = ReportRequest {
-            round: self.next_round,
-            t,
-            fo,
-            epsilon,
-            domain_size,
-        };
-        self.send(&Frame::OpenRound {
-            corr,
-            session: self.session,
-            request,
-        })?;
-        match self.expect_ack(corr)? {
-            AckBody::Opened { request } => {
-                self.open_round = Some(request.round);
-                self.next_round = request.round + 1;
-                Ok(request)
+        // Pin the target round before any retry: a reconnect's Hello
+        // bumps `next_round` past a round the server already opened.
+        let target = self.next_round;
+        self.with_retry(|c| {
+            let deadline = c.deadline();
+            c.drain_acks(0, deadline)?;
+            let corr = c.corr();
+            let request = ReportRequest {
+                round: target,
+                t,
+                fo,
+                epsilon,
+                domain_size,
+            };
+            c.send(&Frame::OpenRound {
+                corr,
+                session: c.session,
+                request,
+            })?;
+            match c.expect_ack(corr, deadline)? {
+                AckBody::Opened { request } => {
+                    c.open_round = Some(request.round);
+                    c.next_round = request.round + 1;
+                    Ok(request)
+                }
+                other => Err(unexpected("Opened", &other)),
             }
-            other => Err(unexpected("Opened", &other)),
-        }
+        })
     }
 
     /// Submit one delta of responses to the open round (pipelined: up
     /// to `window` deltas ride unacknowledged).
+    ///
+    /// The delta enters the replay queue exactly once, *before* any
+    /// network send — every retry path replays it from there, and the
+    /// server's sequence numbers make duplicates no-ops, so a delta is
+    /// counted exactly once no matter how many times it is resent.
     pub fn submit_batch(&mut self, responses: Vec<UserResponse>) -> Result<(), NetError> {
         let round = self.open_round.ok_or_else(|| NetError::Protocol {
             detail: "submit_batch with no open round".into(),
@@ -189,45 +331,116 @@ impl NetClient {
         self.next_seq += 1;
         self.inflight.push_back((seq, responses.clone()));
         self.unacked += 1;
-        self.send_submit(round, seq, responses)?;
-        // Keep at most `window` deltas unacknowledged.
-        while self.unacked > self.window {
-            self.drain_one_ack()?;
-        }
-        Ok(())
+        let mut sent = false;
+        self.with_retry(|c| {
+            let deadline = c.deadline();
+            if !sent {
+                // First attempt sends directly; on retries recover()
+                // has already replayed the delta from `inflight`.
+                sent = true;
+                c.send_submit(round, seq, responses.clone())?;
+            }
+            // Keep at most `window` deltas unacknowledged.
+            while c.unacked > c.window {
+                c.drain_one_ack(deadline)?;
+            }
+            Ok(())
+        })
     }
 
     /// Block until every pipelined submit has been acknowledged (and is
     /// therefore applied — and, on a durable tenant, logged —
     /// server-side).
     pub fn flush(&mut self) -> Result<(), NetError> {
-        self.drain_acks(0)
+        self.with_retry(|c| {
+            let deadline = c.deadline();
+            c.drain_acks(0, deadline)
+        })
     }
 
     /// Close the open round and return its estimate (bit-identical to
     /// an in-process close over the same responses).
+    ///
+    /// Retries are safe: re-closing the last closed round returns the
+    /// original estimate bit for bit.
     pub fn close_round(&mut self) -> Result<RoundEstimate, NetError> {
         let round = self.open_round.ok_or_else(|| NetError::Protocol {
             detail: "close_round with no open round".into(),
         })?;
-        self.drain_acks(0)?;
-        let corr = self.corr();
-        self.send(&Frame::CloseRound {
-            corr,
-            session: self.session,
-            round,
-        })?;
-        match self.expect_ack(corr)? {
-            AckBody::Closed { estimate } => {
-                self.open_round = None;
-                Ok(estimate)
+        self.with_retry(|c| {
+            let deadline = c.deadline();
+            c.drain_acks(0, deadline)?;
+            let corr = c.corr();
+            c.send(&Frame::CloseRound {
+                corr,
+                session: c.session,
+                round,
+            })?;
+            match c.expect_ack(corr, deadline)? {
+                AckBody::Closed { estimate } => {
+                    c.open_round = None;
+                    Ok(estimate)
+                }
+                other => Err(unexpected("Closed", &other)),
             }
-            other => Err(unexpected("Closed", &other)),
-        }
+        })
     }
 
     // ------------------------------------------------------------------
     // internals
+
+    /// Run `op`, retrying retryable failures up to the policy's budget:
+    /// back off (honoring any server hint), reconnect-and-replay, try
+    /// again. Non-retryable failures and budget exhaustion surface.
+    ///
+    /// The budget counts *consecutive fruitless* attempts: a cycle that
+    /// shrank the replay queue (the server acknowledged deltas) resets
+    /// the counter, so a sustained-but-converging overload — e.g. a
+    /// rate-limited tenant pacing a large round through a small bucket —
+    /// completes no matter how many backoff cycles it needs, while a
+    /// dead server still fails after `max_retries` attempts.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let mut attempt: u32 = 0;
+        let mut queued = self.inflight.len();
+        let mut err = match op(self) {
+            Ok(v) => return Ok(v),
+            Err(e) => e,
+        };
+        loop {
+            if self.inflight.len() < queued {
+                attempt = 0;
+            }
+            queued = self.inflight.len();
+            if !err.retryable() || attempt >= self.retry.max_retries {
+                return Err(err);
+            }
+            if matches!(&err, NetError::Remote(WireError::Overloaded { .. })) {
+                self.stats.overloaded += 1;
+            }
+            let delay = self.retry.delay(attempt, err.retry_after());
+            std::thread::sleep(delay);
+            self.stats.backoff_total += delay;
+            self.stats.retries += 1;
+            attempt += 1;
+            // Resync through a fresh connection whatever the failure:
+            // Hello re-reads the server's sequencing state, so we never
+            // guess which frames survived the old connection.
+            err = match self.recover() {
+                Ok(()) => match op(self) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+        }
+    }
+
+    fn deadline(&self) -> Instant {
+        Instant::now() + self.retry.rpc_timeout
+    }
 
     fn corr(&mut self) -> u64 {
         let corr = self.next_corr;
@@ -236,13 +449,15 @@ impl NetClient {
     }
 
     fn hello(&mut self, resume: Option<u64>) -> Result<(), NetError> {
+        let deadline = self.deadline();
         let corr = self.corr();
         self.send(&Frame::Hello {
             corr,
             tenant: self.tenant.clone(),
             resume,
+            token: self.token.clone(),
         })?;
-        match self.expect_ack(corr)? {
+        match self.expect_ack(corr, deadline)? {
             AckBody::Session {
                 session,
                 next_round,
@@ -280,26 +495,40 @@ impl NetClient {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<Frame, NetError> {
+    fn recv(&mut self, deadline: Instant) -> Result<Frame, NetError> {
         loop {
             if let Some(frame) = self.fb.next_frame()? {
                 return Ok(frame);
             }
             let mut buf = [0u8; 16 * 1024];
-            let n = self.stream.read(&mut buf)?;
-            if n == 0 {
-                return Err(NetError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )));
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.fb.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        self.stats.timeouts += 1;
+                        return Err(NetError::Timeout {
+                            after_ms: self.retry.rpc_timeout.as_millis() as u64,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
             }
-            self.fb.feed(&buf[..n]);
         }
     }
 
     /// Consume one pending submit ack (replies arrive in request order).
-    fn drain_one_ack(&mut self) -> Result<(), NetError> {
-        match self.recv()? {
+    fn drain_one_ack(&mut self, deadline: Instant) -> Result<(), NetError> {
+        match self.recv(deadline)? {
             Frame::Ack {
                 body: AckBody::Submitted { next_seq },
                 ..
@@ -322,17 +551,17 @@ impl NetClient {
     }
 
     /// Block until at most `leave` submits remain unacknowledged.
-    fn drain_acks(&mut self, leave: usize) -> Result<(), NetError> {
+    fn drain_acks(&mut self, leave: usize, deadline: Instant) -> Result<(), NetError> {
         while self.unacked > leave {
-            self.drain_one_ack()?;
+            self.drain_one_ack(deadline)?;
         }
         Ok(())
     }
 
     /// Receive the reply to non-pipelined request `corr` (all submit
     /// acks must be drained first).
-    fn expect_ack(&mut self, corr: u64) -> Result<AckBody, NetError> {
-        match self.recv()? {
+    fn expect_ack(&mut self, corr: u64, deadline: Instant) -> Result<AckBody, NetError> {
+        match self.recv(deadline)? {
             Frame::Ack {
                 corr: reply_corr,
                 body,
@@ -350,6 +579,32 @@ impl NetClient {
             }),
         }
     }
+}
+
+/// Connect with the RPC deadline as connect timeout, then arm the
+/// read-poll and write timeouts every later call relies on.
+fn connect_stream(addr: &str, rpc_timeout: Duration) -> Result<TcpStream, NetError> {
+    let mut last_err: Option<std::io::Error> = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, rpc_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                // Reads poll so recv() can enforce its own deadline;
+                // writes time out wholesale (a stalled peer must not
+                // wedge the client past its deadline).
+                stream.set_read_timeout(Some(READ_POLL))?;
+                stream.set_write_timeout(Some(rpc_timeout))?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(NetError::Io(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("cannot resolve {addr}"),
+        )
+    })))
 }
 
 fn unexpected(wanted: &str, got: &AckBody) -> NetError {

@@ -157,6 +157,7 @@ mod tests {
                 corr: 1,
                 tenant: "acme".into(),
                 resume: None,
+                token: None,
             },
             Frame::Err {
                 corr: 2,

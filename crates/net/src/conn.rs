@@ -1,11 +1,20 @@
 //! One accepted connection: reader loop + writer thread.
 //!
 //! The reader drains the socket into a [`FrameBuffer`], resolves the
-//! connection's tenant at `Hello`, and forwards every decoded request
-//! into the tenant's bounded dispatcher queue (blocking there is the
-//! backpressure path). A separate writer thread owns the outbound half
-//! of the socket and serializes reply frames from a bounded channel, so
-//! slow clients stall only their own replies.
+//! connection's tenant at `Hello` (checking the tenant's shared secret
+//! in constant time), and forwards every decoded request into the
+//! tenant's bounded dispatcher queue. A separate writer thread owns the
+//! outbound half of the socket and serializes reply frames from a
+//! bounded channel, so slow clients stall only their own replies.
+//!
+//! **Graceful degradation ordering.** `SubmitBatch` — the bulk of the
+//! traffic and the only frame a flood is made of — passes the tenant's
+//! [`Admission`](crate::admission::Admission) gate and a *non-blocking*
+//! `try_send` into the dispatcher queue; any refusal sheds the frame
+//! with a typed [`WireError::Overloaded`] instead of stalling this
+//! reader. Control frames (`Hello`/`OpenRound`/`CloseRound`) keep the
+//! blocking send, so even a tenant under sustained overload can always
+//! bind, resume, and close its open round.
 //!
 //! Reads poll with a short timeout instead of blocking indefinitely:
 //! each wakeup checks the server's stop flag (graceful shutdown) and an
@@ -16,7 +25,7 @@ use crate::codec::{encode_frame, FrameBuffer};
 use crate::error::FrameError;
 use crate::frame::{Frame, WireError, WIRE_VERSION};
 use crate::server::ServerConfig;
-use crate::tenant::{TenantWork, Tenants};
+use crate::tenant::{TenantHandle, TenantWork, Tenants};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,7 +80,7 @@ fn read_loop(
     reply_tx: &SyncSender<Frame>,
 ) {
     let mut fb = FrameBuffer::new();
-    let mut tenant_queue: Option<SyncSender<TenantWork>> = None;
+    let mut tenant: Option<TenantHandle> = None;
     let mut buf = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
     loop {
@@ -106,7 +115,7 @@ fn read_loop(
                     return;
                 }
             };
-            match route(frame, tenants, &mut tenant_queue, reply_tx) {
+            match route(frame, tenants, &mut tenant, reply_tx, config) {
                 Routed::Ok => {}
                 Routed::Closed => return,
             }
@@ -122,50 +131,76 @@ enum Routed {
 fn route(
     frame: Frame,
     tenants: &Tenants,
-    tenant_queue: &mut Option<SyncSender<TenantWork>>,
+    tenant: &mut Option<TenantHandle>,
     reply_tx: &SyncSender<Frame>,
+    config: &ServerConfig,
 ) -> Routed {
     let corr = frame.corr();
-    // Hello (re)binds the connection's tenant; everything else requires
-    // a prior Hello.
-    if let Frame::Hello { tenant, .. } = &frame {
-        match tenants.sender(tenant) {
-            Some(sender) => *tenant_queue = Some(sender),
-            None => {
-                let reply = Frame::Err {
-                    corr,
-                    error: WireError::UnknownTenant {
-                        tenant: tenant.clone(),
-                    },
-                };
-                return if reply_tx.send(reply).is_ok() {
-                    Routed::Ok
-                } else {
-                    Routed::Closed
-                };
-            }
-        }
-    }
-    let Some(queue) = tenant_queue.as_ref() else {
-        let reply = Frame::Err {
-            corr,
-            error: WireError::Protocol {
-                detail: "Hello must precede other frames".into(),
-            },
-        };
-        return if reply_tx.send(reply).is_ok() {
+    let reject = |error: WireError| {
+        if reply_tx.send(Frame::Err { corr, error }).is_ok() {
             Routed::Ok
         } else {
             Routed::Closed
-        };
+        }
     };
-    // Blocking send = per-tenant backpressure: a saturated tenant stalls
-    // this reader, the socket stops draining, TCP pushes back.
+    // Hello (re)binds the connection's tenant; everything else requires
+    // a prior Hello.
+    if let Frame::Hello {
+        tenant: id, token, ..
+    } = &frame
+    {
+        let Some(handle) = tenants.handle(id) else {
+            return reject(WireError::UnknownTenant { tenant: id.clone() });
+        };
+        if !handle.admission.check_auth(token.as_deref()) {
+            return reject(WireError::AuthFailed { tenant: id.clone() });
+        }
+        *tenant = Some(handle);
+    }
+    let Some(handle) = tenant.as_ref() else {
+        return reject(WireError::Protocol {
+            detail: "Hello must precede other frames".into(),
+        });
+    };
+    if let Frame::SubmitBatch { responses, .. } = &frame {
+        // The shedding path: admission gate + non-blocking enqueue.
+        // Refusals reply Overloaded from this reader thread — the
+        // request never reached the service, so it is safe to retry.
+        let guard = match handle.admission.admit(responses.len()) {
+            Ok(guard) => guard,
+            Err((_reason, wait)) => {
+                return reject(WireError::Overloaded {
+                    retry_after_ms: wait.as_millis() as u64,
+                });
+            }
+        };
+        let work = TenantWork {
+            frame,
+            reply: reply_tx.clone(),
+            inflight: Some(guard),
+        };
+        return match handle.queue.try_send(work) {
+            Ok(()) => Routed::Ok,
+            Err(std::sync::mpsc::TrySendError::Full(work)) => {
+                drop(work); // releases the in-flight slot
+                handle.admission.note_queue_shed();
+                reject(WireError::Overloaded {
+                    retry_after_ms: config.shed_retry.as_millis() as u64,
+                })
+            }
+            // Dispatcher gone: the server is shutting down.
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => Routed::Closed,
+        };
+    }
+    // Control frames keep the blocking send: a saturated tenant stalls
+    // this reader, the socket stops draining, TCP pushes back — but the
+    // frame is never shed, so open rounds can always close.
     let work = TenantWork {
         frame,
         reply: reply_tx.clone(),
+        inflight: None,
     };
-    if queue.send(work).is_err() {
+    if handle.queue.send(work).is_err() {
         // Dispatcher gone: the server is shutting down.
         return Routed::Closed;
     }
@@ -174,6 +209,11 @@ fn route(
 
 /// The reply sent for an undecodable stream (no request to attribute it
 /// to, so `corr` 0).
+///
+/// Stream-level defects are typed [`WireError::BadFrame`] — retryable,
+/// because a reconnect resynchronizes the stream and the idempotent
+/// replay recovers whatever was in flight. An unsupported version stays
+/// the non-retryable [`WireError::Version`].
 fn framing_reply(e: FrameError) -> Frame {
     let error = match e {
         FrameError::Version { got } => WireError::Version {
@@ -181,7 +221,7 @@ fn framing_reply(e: FrameError) -> Frame {
             max: WIRE_VERSION,
             got,
         },
-        other => WireError::Protocol {
+        other => WireError::BadFrame {
             detail: other.to_string(),
         },
     };

@@ -82,6 +82,13 @@ pub enum NetError {
     Frame(FrameError),
     /// The server rejected the request with a typed wire error.
     Remote(WireError),
+    /// An RPC missed its deadline: no reply arrived within the
+    /// client's configured timeout. The connection state is unknown;
+    /// reconnect-and-replay recovers.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        after_ms: u64,
+    },
     /// The conversation broke protocol (an ack for the wrong request,
     /// an operation outside its lifecycle slot, …).
     Protocol {
@@ -94,7 +101,31 @@ impl NetError {
     /// Whether retrying over a fresh connection could succeed — true
     /// for transport and framing failures, false for typed rejections.
     pub fn is_transient(&self) -> bool {
-        matches!(self, NetError::Io(_) | NetError::Frame(_))
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Frame(_) | NetError::Timeout { .. }
+        )
+    }
+
+    /// Uniform retryability: transport, framing, and timeout failures
+    /// always warrant a reconnect-and-retry; remote rejections defer
+    /// to [`WireError::retryable`]; local protocol-state violations
+    /// never do.
+    pub fn retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Frame(_) | NetError::Timeout { .. } => true,
+            NetError::Remote(e) => e.retryable(),
+            NetError::Protocol { .. } => false,
+        }
+    }
+
+    /// Server-suggested minimum backoff before retrying, when the
+    /// failure carried one (a remote `Overloaded` rejection).
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            NetError::Remote(e) => e.retry_after(),
+            _ => None,
+        }
     }
 }
 
@@ -104,6 +135,9 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "transport error: {e}"),
             NetError::Frame(e) => write!(f, "framing error: {e}"),
             NetError::Remote(e) => write!(f, "server rejected request: {e}"),
+            NetError::Timeout { after_ms } => {
+                write!(f, "rpc timed out after {after_ms} ms")
+            }
             NetError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
         }
     }

@@ -45,6 +45,10 @@ pub enum Frame {
         /// `Some(session)` resumes an existing session after a
         /// disconnect; `None` creates a fresh one.
         resume: Option<u64>,
+        /// The tenant's shared secret, when it requires one. Compared
+        /// in constant time server-side; a missing or wrong token is a
+        /// typed [`WireError::AuthFailed`].
+        token: Option<String>,
     },
     /// Client → server: open collection round `request.round` (the
     /// idempotent [`open_round_at`](ldp_service::IngestService::open_round_at)).
@@ -195,6 +199,54 @@ pub enum WireError {
         /// What went out of step.
         detail: String,
     },
+    /// The tenant shed this request under load (full dispatcher queue,
+    /// exhausted rate budget, or in-flight quota). The request was
+    /// **not** applied; retry it after backing off.
+    Overloaded {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The `Hello` failed the tenant's shared-secret check.
+    AuthFailed {
+        /// The tenant that rejected the credential.
+        tenant: String,
+    },
+    /// The server could not decode the inbound byte stream (torn or
+    /// corrupt frame). The connection is unsynchronized and about to
+    /// close; reconnect-and-replay recovers.
+    BadFrame {
+        /// The framing defect, as the server saw it.
+        detail: String,
+    },
+}
+
+impl WireError {
+    /// Whether retrying the rejected request can succeed.
+    ///
+    /// `Overloaded` and `BadFrame` are transient by construction.
+    /// `SessionBusy` is retryable because the open round it reports may
+    /// be a predecessor client's close still in flight — backing off
+    /// and retrying resolves once that close lands. Everything else
+    /// reports a condition a retry cannot change.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            WireError::Overloaded { .. }
+                | WireError::BadFrame { .. }
+                | WireError::SessionBusy { .. }
+        )
+    }
+
+    /// Server-suggested minimum backoff before retrying, when it sent
+    /// one (only [`WireError::Overloaded`] carries it).
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            WireError::Overloaded { retry_after_ms } => {
+                Some(std::time::Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -223,6 +275,15 @@ impl std::fmt::Display for WireError {
             ),
             WireError::Service { detail } => write!(f, "service failure: {detail}"),
             WireError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            WireError::Overloaded { retry_after_ms } => {
+                write!(f, "tenant overloaded; retry after {retry_after_ms} ms")
+            }
+            WireError::AuthFailed { tenant } => {
+                write!(f, "authentication failed for tenant {tenant:?}")
+            }
+            WireError::BadFrame { detail } => {
+                write!(f, "server could not decode the stream: {detail}")
+            }
         }
     }
 }
@@ -283,6 +344,24 @@ fn take_opt_u64(cur: &mut Cursor<'_>) -> Result<Option<u64>, String> {
     }
 }
 
+fn put_opt_str(out: &mut Vec<u8>, v: Option<&str>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_str(out, v);
+        }
+    }
+}
+
+fn take_opt_str(cur: &mut Cursor<'_>) -> Result<Option<String>, String> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.str()?)),
+        tag => Err(format!("unknown option tag {tag}")),
+    }
+}
+
 impl Frame {
     /// The correlation id this frame carries.
     pub fn corr(&self) -> u64 {
@@ -305,11 +384,13 @@ impl Frame {
                 corr,
                 tenant,
                 resume,
+                token,
             } => {
                 out.push(TAG_HELLO);
                 put_u64(&mut out, *corr);
                 put_str(&mut out, tenant);
                 put_opt_u64(&mut out, *resume);
+                put_opt_str(&mut out, token.as_deref());
             }
             Frame::OpenRound {
                 corr,
@@ -420,6 +501,18 @@ impl Frame {
                         out.push(8);
                         put_str(&mut out, detail);
                     }
+                    WireError::Overloaded { retry_after_ms } => {
+                        out.push(9);
+                        put_u64(&mut out, *retry_after_ms);
+                    }
+                    WireError::AuthFailed { tenant } => {
+                        out.push(10);
+                        put_str(&mut out, tenant);
+                    }
+                    WireError::BadFrame { detail } => {
+                        out.push(11);
+                        put_str(&mut out, detail);
+                    }
                 }
             }
         }
@@ -444,6 +537,7 @@ impl Frame {
                     corr,
                     tenant: cur.str()?,
                     resume: take_opt_u64(&mut cur)?,
+                    token: take_opt_str(&mut cur)?,
                 },
                 TAG_OPEN_ROUND => Frame::OpenRound {
                     corr,
@@ -522,6 +616,11 @@ impl Frame {
                         },
                         7 => WireError::Service { detail: cur.str()? },
                         8 => WireError::Protocol { detail: cur.str()? },
+                        9 => WireError::Overloaded {
+                            retry_after_ms: cur.u64()?,
+                        },
+                        10 => WireError::AuthFailed { tenant: cur.str()? },
+                        11 => WireError::BadFrame { detail: cur.str()? },
                         tag => return Err(format!("unknown error tag {tag}")),
                     };
                     Frame::Err { corr, error }

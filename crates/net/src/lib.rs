@@ -24,8 +24,26 @@
 //!   reconnect-and-resume (replay the unacknowledged suffix; the
 //!   server's sequence numbers make duplicates no-ops).
 //!
+//! Layered on top of those, the overload-protection seam:
+//!
+//! * [`admission`] — per-tenant admission control (shared-secret auth
+//!   with constant-time compare, token-bucket rate limits, in-flight
+//!   quotas) enforced in the connection reader, shedding `SubmitBatch`
+//!   with typed [`WireError::Overloaded`] frames while control frames
+//!   always pass — an open round can always close;
+//! * [`backoff`] — [`RetryPolicy`]: per-RPC deadlines plus capped
+//!   exponential backoff with deterministic jitter, honoring the
+//!   server's `retry_after_ms`, layered on the idempotent replay so
+//!   retries never double-count;
+//! * [`chaos`] (feature `chaos`) — [`FlakyTransport`], a
+//!   fault-injecting proxy (corruption, truncation, partial writes,
+//!   kills/reorder-by-reconnect, latency spikes) the chaos matrix
+//!   drives to prove estimates stay f64-bit-identical under sustained
+//!   faults.
+//!
 //! The `ldp-server` / `ldp-client` binaries wrap the two ends for
-//! loopback smoke tests and benchmarks (`repro net-throughput`).
+//! loopback smoke tests and benchmarks (`repro net-throughput`,
+//! `repro chaos`).
 //!
 //! ## Quick example
 //!
@@ -51,6 +69,10 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod backoff;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod conn;
@@ -59,9 +81,13 @@ pub mod frame;
 pub mod server;
 pub mod tenant;
 
-pub use client::{NetClient, DEFAULT_WINDOW};
+pub use admission::{Admission, AdmissionSnapshot, InflightGuard, ShedReason};
+pub use backoff::{ClientStats, RetryPolicy};
+#[cfg(feature = "chaos")]
+pub use chaos::{ChaosConfig, ChaosSnapshot, FaultKind, FlakyTransport};
+pub use client::{ClientOptions, NetClient, DEFAULT_WINDOW};
 pub use codec::{decode_frame, encode_frame, FrameBuffer, MAX_FRAME_LEN};
 pub use error::{FrameError, NetError};
 pub use frame::{AckBody, Frame, WireError, WIRE_VERSION};
 pub use server::{NetServer, ServerConfig};
-pub use tenant::{TenantWork, Tenants};
+pub use tenant::{TenantHandle, TenantWork, Tenants};

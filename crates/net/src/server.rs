@@ -34,6 +34,10 @@ pub struct ServerConfig {
     /// How often blocked reads wake to check the stop flag and idle
     /// deadline.
     pub poll_interval: Duration,
+    /// The `retry_after_ms` hint sent when a submit is shed because the
+    /// tenant's dispatcher queue is full (rate-limit sheds price their
+    /// hint from the bucket's refill deficit instead).
+    pub shed_retry: Duration,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +46,7 @@ impl Default for ServerConfig {
             queue_depth: 8,
             read_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
+            shed_retry: Duration::from_millis(25),
         }
     }
 }
@@ -113,6 +118,14 @@ impl NetServer {
     /// The bound address (resolves `:0` to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Admission counters (admits, sheds by cause, auth failures) of
+    /// `tenant`, or `None` if it is not hosted.
+    pub fn admission_snapshot(&self, tenant: &str) -> Option<crate::admission::AdmissionSnapshot> {
+        self.tenants
+            .as_ref()
+            .and_then(|tenants| tenants.admission_snapshot(tenant))
     }
 
     /// Stop accepting, drain and join every connection and dispatcher.

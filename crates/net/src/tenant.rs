@@ -14,6 +14,7 @@
 //! produced in the order the connection sent requests, so clients can
 //! pipeline without a reorder buffer.
 
+use crate::admission::{Admission, AdmissionSnapshot, InflightGuard};
 use crate::frame::{AckBody, Frame, WireError};
 use ldp_service::registry::TenantRegistry;
 use ldp_service::{IngestService, SessionId};
@@ -30,11 +31,25 @@ pub struct TenantWork {
     /// The connection's outbound frame queue. A send failure means the
     /// connection is gone; the reply is then dropped.
     pub reply: SyncSender<Frame>,
+    /// The in-flight slot an admitted `SubmitBatch` occupies; released
+    /// when the work is dropped (after its reply is sent). `None` for
+    /// control frames, which bypass admission.
+    pub inflight: Option<InflightGuard>,
+}
+
+/// One tenant's routing handle: its dispatcher queue plus the admission
+/// state connections consult before enqueueing submits.
+#[derive(Clone)]
+pub struct TenantHandle {
+    /// The tenant's bounded dispatcher queue.
+    pub queue: SyncSender<TenantWork>,
+    /// The tenant's admission control (auth, rate, in-flight quota).
+    pub admission: Arc<Admission>,
 }
 
 /// The running dispatcher set: tenant id → its work queue.
 pub struct Tenants {
-    senders: HashMap<String, SyncSender<TenantWork>>,
+    handles_by_id: HashMap<String, TenantHandle>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -45,10 +60,12 @@ impl Tenants {
     /// server starts are not served (restart the server to pick them
     /// up).
     pub fn start(registry: &TenantRegistry, queue_depth: usize) -> Tenants {
-        let mut senders = HashMap::new();
+        let mut handles_by_id = HashMap::new();
         let mut handles = Vec::new();
         for id in registry.tenant_ids() {
             let service = registry.lookup(&id).expect("snapshotted id resolves");
+            let limits = registry.limits(&id).expect("snapshotted id resolves");
+            let admission = Arc::new(Admission::new(limits));
             let (tx, rx) = sync_channel::<TenantWork>(queue_depth);
             let name = format!("tenant-{id}");
             let handle = std::thread::Builder::new()
@@ -59,30 +76,54 @@ impl Tenants {
                     while let Ok(work) = rx.recv() {
                         let reply = dispatch(&service, work.frame);
                         let _ = work.reply.send(reply);
+                        // `work.inflight` drops here, releasing the
+                        // tenant's in-flight slot only after the reply
+                        // is on the connection's outbound lane.
                     }
                 })
                 .expect("spawn tenant dispatcher");
-            senders.insert(id, tx);
+            handles_by_id.insert(
+                id,
+                TenantHandle {
+                    queue: tx,
+                    admission,
+                },
+            );
             handles.push(handle);
         }
-        Tenants { senders, handles }
+        Tenants {
+            handles_by_id,
+            handles,
+        }
+    }
+
+    /// The routing handle of `tenant`, if hosted.
+    pub fn handle(&self, tenant: &str) -> Option<TenantHandle> {
+        self.handles_by_id.get(tenant).cloned()
     }
 
     /// The work queue of `tenant`, if hosted.
     pub fn sender(&self, tenant: &str) -> Option<SyncSender<TenantWork>> {
-        self.senders.get(tenant).cloned()
+        self.handles_by_id.get(tenant).map(|h| h.queue.clone())
+    }
+
+    /// The admission counters of `tenant`, if hosted.
+    pub fn admission_snapshot(&self, tenant: &str) -> Option<AdmissionSnapshot> {
+        self.handles_by_id
+            .get(tenant)
+            .map(|h| h.admission.snapshot())
     }
 
     /// Hosted tenant ids, sorted.
     pub fn tenant_ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self.senders.keys().cloned().collect();
+        let mut ids: Vec<String> = self.handles_by_id.keys().cloned().collect();
         ids.sort();
         ids
     }
 
     /// Drop the work queues and join every dispatcher after it drains.
     pub fn shutdown(self) {
-        drop(self.senders);
+        drop(self.handles_by_id);
         for handle in self.handles {
             let _ = handle.join();
         }
@@ -184,6 +225,7 @@ mod tests {
                 corr: 1,
                 tenant: "acme".into(),
                 resume: None,
+                token: None,
             },
         );
         let Frame::Ack {
@@ -262,9 +304,11 @@ mod tests {
     fn tenants_snapshot_serves_registered_ids_only() {
         let registry = registry();
         let tenants = Tenants::start(&registry, 4);
+        assert!(tenants.handle("acme").is_some());
         assert!(tenants.sender("acme").is_some());
-        assert!(tenants.sender("ghost").is_none());
+        assert!(tenants.handle("ghost").is_none());
         assert_eq!(tenants.tenant_ids(), vec!["acme"]);
+        assert_eq!(tenants.admission_snapshot("acme"), Some(Default::default()));
         tenants.shutdown();
     }
 }

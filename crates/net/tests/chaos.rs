@@ -1,0 +1,267 @@
+//! Network chaos matrix (feature `chaos`): every fault kind × shard
+//! count × two concurrent tenants, driven through a `FlakyTransport`
+//! proxy, must converge to estimates **f64-bit-identical** to the
+//! sequential in-process `AggregationServer` — with zero lost and zero
+//! duplicated reports (the `reporters` count pins both).
+//!
+//! Plus the property test from the issue: a corrupted or truncated
+//! frame mid-pipeline never panics either side, never loses an acked
+//! batch, and the round still converges bit-identically.
+//!
+//! Run with: `cargo test -p ldp_net --features chaos --test chaos`
+#![cfg(feature = "chaos")]
+
+use ldp_fo::{build_oracle, FoKind, OracleHandle};
+use ldp_ids::collector::RoundEstimate;
+use ldp_ids::protocol::{AggregationServer, UserResponse};
+use ldp_net::{
+    ChaosConfig, ChaosSnapshot, ClientOptions, ClientStats, FaultKind, FlakyTransport, NetClient,
+    NetServer, RetryPolicy, ServerConfig,
+};
+use ldp_service::{ServiceConfig, TenantRegistry, TenantSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn seeded_responses(oracle: &OracleHandle, round: u64, n: usize, seed: u64) -> Vec<UserResponse> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 13 == 12 {
+                UserResponse::Refused {
+                    round,
+                    requested: 1.0,
+                    available: 0.25,
+                }
+            } else {
+                UserResponse::Report {
+                    round,
+                    report: oracle.perturb(i % oracle.domain_size(), &mut rng),
+                }
+            }
+        })
+        .collect()
+}
+
+fn sequential_estimate(
+    oracle: &OracleHandle,
+    fo: FoKind,
+    epsilon: f64,
+    responses: &[UserResponse],
+) -> RoundEstimate {
+    let mut server = AggregationServer::new();
+    server.open_round(0, fo, epsilon, oracle.clone());
+    for response in responses {
+        server.submit(response).unwrap();
+    }
+    server.close_round().unwrap()
+}
+
+fn assert_bit_identical(a: &RoundEstimate, b: &RoundEstimate, what: &str) {
+    assert_eq!(a.reporters, b.reporters, "{what}: reporters differ");
+    let a_bits: Vec<u64> = a.frequencies.iter().map(|f| f.to_bits()).collect();
+    let b_bits: Vec<u64> = b.frequencies.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(a_bits, b_bits, "{what}: frequency bits differ");
+}
+
+/// A retry policy generous enough to outlast a sustained fault
+/// schedule but with short, test-friendly delays.
+fn chaos_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 60,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(50),
+        rpc_timeout: Duration::from_millis(1500),
+        seed,
+    }
+}
+
+/// Mean forwarded bytes between faults, per fault kind. Lethal kinds
+/// (every fault severs the connection) get a wider gap so recovery's
+/// replay burst (~window × frame bytes) fits between faults; stream
+/// faults can come faster.
+fn gap_for(kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::Kill | FaultKind::Truncate | FaultKind::Corrupt => 4096,
+        FaultKind::PartialWrite | FaultKind::Latency => 1500,
+    }
+}
+
+/// Drive one tenant's full round through the proxy; returns the
+/// network estimate and the client's retry counters.
+fn drive_tenant(
+    proxy_addr: String,
+    tenant: &str,
+    responses: Vec<UserResponse>,
+    fo: FoKind,
+    epsilon: f64,
+    domain: usize,
+    seed: u64,
+) -> (RoundEstimate, ClientStats) {
+    let mut client = NetClient::connect_with(
+        proxy_addr,
+        tenant,
+        ClientOptions::default().window(4).retry(chaos_retry(seed)),
+    )
+    .unwrap();
+    client.open_round_with(0, fo, epsilon, domain).unwrap();
+    let mid = responses.len() / 2;
+    for delta in responses[..mid].chunks(12) {
+        client.submit_batch(delta.to_vec()).unwrap();
+    }
+    // Acked-batch checkpoint: everything before this flush is applied
+    // server-side; no later fault may lose it.
+    client.flush().unwrap();
+    for delta in responses[mid..].chunks(12) {
+        client.submit_batch(delta.to_vec()).unwrap();
+    }
+    let estimate = client.close_round().unwrap();
+    (estimate, client.stats())
+}
+
+/// One matrix cell: a two-tenant server with `threads`-way sharded
+/// services, a fault-injecting proxy of `kind`, both tenants driven
+/// concurrently; both estimates must be bit-identical to in-process.
+fn run_cell(kind: FaultKind, threads: usize, seed: u64) -> (ChaosSnapshot, ClientStats) {
+    let (fo, epsilon, domain) = (FoKind::Grr, 1.0, 6);
+    let oracle = build_oracle(fo, epsilon, domain).unwrap();
+    let acme = seeded_responses(&oracle, 0, 300, seed.wrapping_mul(2) + 1);
+    let globex = seeded_responses(&oracle, 0, 240, seed.wrapping_mul(2) + 2);
+    let expected_acme = sequential_estimate(&oracle, fo, epsilon, &acme);
+    let expected_globex = sequential_estimate(&oracle, fo, epsilon, &globex);
+
+    let registry = TenantRegistry::new();
+    for id in ["acme", "globex"] {
+        registry
+            .register(TenantSpec::in_memory(
+                id,
+                ServiceConfig::with_threads(threads),
+            ))
+            .unwrap();
+    }
+    let server = NetServer::start("127.0.0.1:0", &registry, ServerConfig::default()).unwrap();
+    let proxy = FlakyTransport::start(
+        server.addr(),
+        ChaosConfig {
+            kind,
+            seed,
+            mean_fault_gap: gap_for(kind),
+            spike: Duration::from_millis(20),
+        },
+    )
+    .unwrap();
+    let proxy_addr = proxy.addr().to_string();
+
+    let acme_addr = proxy_addr.clone();
+    let acme_thread = std::thread::spawn(move || {
+        drive_tenant(acme_addr, "acme", acme, fo, epsilon, domain, seed)
+    });
+    let (globex_estimate, globex_stats) =
+        drive_tenant(proxy_addr, "globex", globex, fo, epsilon, domain, seed + 1);
+    let (acme_estimate, acme_stats) = acme_thread.join().unwrap();
+
+    let label = format!("{}:{threads}-shard", kind.name());
+    assert_bit_identical(&acme_estimate, &expected_acme, &format!("{label}:acme"));
+    assert_bit_identical(
+        &globex_estimate,
+        &expected_globex,
+        &format!("{label}:globex"),
+    );
+
+    let snapshot = proxy.shutdown();
+    server.shutdown();
+    let mut stats = acme_stats;
+    stats.retries += globex_stats.retries;
+    stats.reconnects += globex_stats.reconnects;
+    stats.overloaded += globex_stats.overloaded;
+    stats.timeouts += globex_stats.timeouts;
+    stats.backoff_total += globex_stats.backoff_total;
+    (snapshot, stats)
+}
+
+/// The full matrix: every fault kind × {1, 2, 8}-way sharding × two
+/// concurrent tenants. Asserts convergence per cell and that the
+/// schedule actually injected faults somewhere in each kind's row.
+#[test]
+fn chaos_matrix_converges_bit_identically() {
+    for (k, kind) in FaultKind::ALL.into_iter().enumerate() {
+        let mut faults = 0u64;
+        for (s, threads) in [1usize, 2, 8].into_iter().enumerate() {
+            let seed = 1000 + (k as u64) * 10 + s as u64;
+            let (snapshot, _stats) = run_cell(kind, threads, seed);
+            faults += snapshot.faults();
+        }
+        assert!(
+            faults > 0,
+            "{}: the schedule never fired across the row",
+            kind.name()
+        );
+    }
+}
+
+/// Kills double as reorder-by-reconnect: the replayed suffix
+/// interleaves differently on the fresh connection. The estimate must
+/// not care, and recovery must actually have happened.
+#[test]
+fn kill_storm_forces_reconnects_and_still_converges() {
+    let (snapshot, stats) = run_cell(FaultKind::Kill, 2, 4242);
+    assert!(snapshot.kills > 0, "no kill ever fired: {snapshot:?}");
+    assert!(
+        stats.reconnects > 0,
+        "kills must force client recovery: {stats:?}"
+    );
+}
+
+proptest! {
+    // Each case boots a real server + proxy; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Issue satellite: a corrupted or truncated frame at an arbitrary
+    /// schedule position mid-pipeline never panics either side, never
+    /// loses an acknowledged batch (the mid-stream flush checkpoint),
+    /// and the round converges bit-identically.
+    #[test]
+    fn corruption_never_panics_or_loses_acked_batches(
+        lethal in any::<bool>(),
+        seed in any::<u64>(),
+        gap in 1200u64..6000,
+    ) {
+        let kind = if lethal { FaultKind::Truncate } else { FaultKind::Corrupt };
+        let (fo, epsilon, domain) = (FoKind::Oue, 1.0, 5);
+        let oracle = build_oracle(fo, epsilon, domain).unwrap();
+        let responses = seeded_responses(&oracle, 0, 200, seed);
+        let expected = sequential_estimate(&oracle, fo, epsilon, &responses);
+
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantSpec::in_memory("acme", ServiceConfig::with_threads(2)))
+            .unwrap();
+        let server = NetServer::start("127.0.0.1:0", &registry, ServerConfig::default()).unwrap();
+        let proxy = FlakyTransport::start(
+            server.addr(),
+            ChaosConfig {
+                kind,
+                seed,
+                // Lethal faults sever the connection; keep the gap wide
+                // enough that recovery's replay burst fits between them.
+                mean_fault_gap: if lethal { gap.max(3500) } else { gap },
+                spike: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+
+        let (estimate, _stats) = drive_tenant(
+            proxy.addr().to_string(),
+            "acme",
+            responses,
+            fo,
+            epsilon,
+            domain,
+            seed,
+        );
+        assert_bit_identical(&estimate, &expected, kind.name());
+        proxy.shutdown();
+        server.shutdown();
+    }
+}

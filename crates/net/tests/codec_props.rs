@@ -97,6 +97,9 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
             .prop_map(|(expected, got)| WireError::SequenceGap { expected, got }),
         arb_tenant().prop_map(|detail| WireError::Service { detail }),
         arb_tenant().prop_map(|detail| WireError::Protocol { detail }),
+        any::<u64>().prop_map(|retry_after_ms| WireError::Overloaded { retry_after_ms }),
+        arb_tenant().prop_map(|tenant| WireError::AuthFailed { tenant }),
+        arb_tenant().prop_map(|detail| WireError::BadFrame { detail }),
     ]
 }
 
@@ -118,13 +121,19 @@ fn arb_ack_body() -> impl Strategy<Value = AckBody> {
 
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
-        (any::<u64>(), arb_tenant(), any::<u64>(), any::<bool>()).prop_map(
-            |(corr, tenant, raw, resume)| Frame::Hello {
+        (
+            any::<u64>(),
+            arb_tenant(),
+            any::<u64>(),
+            any::<u8>(),
+            arb_tenant(),
+        )
+            .prop_map(|(corr, tenant, raw, flags, token)| Frame::Hello {
                 corr,
                 tenant,
-                resume: resume.then_some(raw),
-            }
-        ),
+                resume: (flags & 1 != 0).then_some(raw),
+                token: (flags & 2 != 0).then_some(token),
+            }),
         (any::<u64>(), any::<u64>(), arb_request()).prop_map(|(corr, session, request)| {
             Frame::OpenRound {
                 corr,

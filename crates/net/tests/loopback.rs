@@ -152,6 +152,7 @@ fn torn_frames_across_writes_are_reassembled() {
         corr: 1,
         tenant: "acme".into(),
         resume: None,
+        token: None,
     });
     // Dribble the frame one byte per write; the server's FrameBuffer
     // must reassemble it across arbitrarily torn reads.
@@ -181,21 +182,21 @@ fn corrupt_stream_gets_typed_reply_then_close() {
         corr: 1,
         tenant: "acme".into(),
         resume: None,
+        token: None,
     });
     let last = bytes.len() - 1;
     bytes[last] ^= 0xff; // breaks the CRC
     stream.write_all(&bytes).unwrap();
     let reply = read_one_frame(&mut stream);
-    assert!(
-        matches!(
-            reply,
-            Frame::Err {
-                corr: 0,
-                error: WireError::Protocol { .. }
-            }
-        ),
-        "{reply:?}"
-    );
+    // Stream corruption is a typed, *retryable* BadFrame — reconnecting
+    // resynchronizes and the idempotent replay recovers.
+    match &reply {
+        Frame::Err {
+            corr: 0,
+            error: error @ WireError::BadFrame { .. },
+        } => assert!(error.retryable(), "BadFrame must be retryable"),
+        other => panic!("expected BadFrame error, got {other:?}"),
+    }
     // The connection is unsynchronized after a framing defect: EOF next.
     let mut rest = Vec::new();
     stream.read_to_end(&mut rest).unwrap();

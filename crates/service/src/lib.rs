@@ -86,7 +86,7 @@ pub use batch::{Batch, ColumnarBatch, RoundKey, ServiceConfig};
 pub use parallel::{ParallelCollector, ServiceSink};
 pub use pool::WorkerPool;
 pub use recovery::RecoveryReport;
-pub use registry::{TenantRegistry, TenantSpec};
+pub use registry::{RateLimit, TenantLimits, TenantRegistry, TenantSpec};
 pub use session::{IngestService, SessionId, SessionStatus};
 pub use shard::{ShardAccumulator, ShardArena, ShardTally};
 pub use wal::{Commit, GroupCommit, Wal, WalRecord, WalScan, WalStats, WalSync};

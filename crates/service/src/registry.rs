@@ -44,6 +44,45 @@ pub fn validate_tenant_id(id: &str) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// A token-bucket rate limit on submitted reports.
+///
+/// The bucket holds up to `burst` tokens and refills at
+/// `reports_per_sec`; admitting a batch of *n* reports spends *n*
+/// tokens. A batch larger than `burst` can never be admitted, so
+/// operators must size `burst` at or above the largest delta their
+/// clients send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admission rate, in reports per second. A rate of zero
+    /// admits only the initial `burst` and nothing after.
+    pub reports_per_sec: f64,
+    /// Bucket capacity: the largest report count admitted at once.
+    pub burst: u64,
+}
+
+/// Per-tenant admission limits, enforced at the network frontend.
+///
+/// The default is fully open (no auth, no rate limit, no in-flight
+/// quota) — the behaviour tenants had before limits existed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantLimits {
+    /// Shared secret every `Hello` binding this tenant must present.
+    /// `None` accepts any client (the token, if sent, is ignored).
+    pub auth_token: Option<String>,
+    /// Token-bucket limit on submitted reports; `None` is unlimited.
+    pub rate: Option<RateLimit>,
+    /// Maximum `SubmitBatch` frames queued or executing at once;
+    /// `None` is unlimited.
+    pub max_inflight: Option<usize>,
+}
+
+impl TenantLimits {
+    /// Fully open limits (no auth, no quotas).
+    pub fn open() -> Self {
+        TenantLimits::default()
+    }
+}
+
 /// Everything needed to stand up one tenant's service.
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
@@ -53,6 +92,8 @@ pub struct TenantSpec {
     pub config: ServiceConfig,
     /// Durability directory; `None` runs the tenant in-memory.
     pub dir: Option<PathBuf>,
+    /// Admission limits the network frontend enforces for this tenant.
+    pub limits: TenantLimits,
 }
 
 impl TenantSpec {
@@ -62,6 +103,7 @@ impl TenantSpec {
             id: id.into(),
             config,
             dir: None,
+            limits: TenantLimits::default(),
         }
     }
 
@@ -71,7 +113,14 @@ impl TenantSpec {
             id: id.into(),
             config,
             dir: Some(dir.into()),
+            limits: TenantLimits::default(),
         }
+    }
+
+    /// Attach admission limits to the spec.
+    pub fn with_limits(mut self, limits: TenantLimits) -> Self {
+        self.limits = limits;
+        self
     }
 }
 
@@ -82,7 +131,13 @@ impl TenantSpec {
 /// contending with each other.
 #[derive(Debug, Default)]
 pub struct TenantRegistry {
-    tenants: RwLock<HashMap<String, Arc<IngestService>>>,
+    tenants: RwLock<HashMap<String, TenantEntry>>,
+}
+
+#[derive(Debug)]
+struct TenantEntry {
+    service: Arc<IngestService>,
+    limits: TenantLimits,
 }
 
 impl TenantRegistry {
@@ -107,7 +162,13 @@ impl TenantRegistry {
         if tenants.contains_key(&spec.id) {
             return Err(CoreError::TenantExists { tenant: spec.id });
         }
-        tenants.insert(spec.id, Arc::clone(&service));
+        tenants.insert(
+            spec.id,
+            TenantEntry {
+                service: Arc::clone(&service),
+                limits: spec.limits,
+            },
+        );
         Ok(service)
     }
 
@@ -118,7 +179,20 @@ impl TenantRegistry {
             .read()
             .unwrap()
             .get(tenant)
-            .cloned()
+            .map(|entry| Arc::clone(&entry.service))
+            .ok_or_else(|| CoreError::UnknownTenant {
+                tenant: tenant.into(),
+            })
+    }
+
+    /// The admission limits configured for `tenant`, or a typed
+    /// [`CoreError::UnknownTenant`].
+    pub fn limits(&self, tenant: &str) -> Result<TenantLimits, CoreError> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(tenant)
+            .map(|entry| entry.limits.clone())
             .ok_or_else(|| CoreError::UnknownTenant {
                 tenant: tenant.into(),
             })
@@ -202,6 +276,40 @@ mod tests {
                 tenant: "ghost".into()
             }
         );
+    }
+
+    #[test]
+    fn limits_are_stored_and_default_open() {
+        let registry = TenantRegistry::new();
+        registry
+            .register(TenantSpec::in_memory(
+                "open",
+                ServiceConfig::with_threads(1),
+            ))
+            .unwrap();
+        registry
+            .register(
+                TenantSpec::in_memory("locked", ServiceConfig::with_threads(1)).with_limits(
+                    TenantLimits {
+                        auth_token: Some("sekrit".into()),
+                        rate: Some(RateLimit {
+                            reports_per_sec: 1000.0,
+                            burst: 50,
+                        }),
+                        max_inflight: Some(4),
+                    },
+                ),
+            )
+            .unwrap();
+        assert_eq!(registry.limits("open").unwrap(), TenantLimits::open());
+        let locked = registry.limits("locked").unwrap();
+        assert_eq!(locked.auth_token.as_deref(), Some("sekrit"));
+        assert_eq!(locked.rate.unwrap().burst, 50);
+        assert_eq!(locked.max_inflight, Some(4));
+        assert!(matches!(
+            registry.limits("ghost"),
+            Err(CoreError::UnknownTenant { .. })
+        ));
     }
 
     #[test]
