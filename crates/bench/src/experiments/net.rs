@@ -17,12 +17,14 @@ use crate::scale::RunScale;
 use ldp_fo::{build_oracle, FoKind, OracleHandle};
 use ldp_ids::protocol::{AggregationServer, UserResponse};
 use ldp_metrics::Table;
-use ldp_net::{NetClient, NetServer, ServerConfig};
+use ldp_net::{ClientOptions, NetClient, NetServer, ServerConfig};
+use ldp_obs::{HistogramSnapshot, MetricValue, MetricsRegistry, Scope};
 use ldp_service::{ServiceConfig, TenantRegistry, TenantSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Concurrent client counts the sweep measures.
@@ -34,6 +36,45 @@ pub fn reports_per_round(scale: RunScale) -> u64 {
     super::throughput::reports_per_round(scale)
 }
 
+/// Client-observed RPC latency quantiles in nanoseconds, read from the
+/// shared [`ldp_obs`] registry (`ldp_client_rpc_ns`) rather than
+/// hand-rolled timers — the same series a live scrape sees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBlock {
+    /// Median RPC latency (ns).
+    pub p50: u64,
+    /// 95th-percentile RPC latency (ns).
+    pub p95: u64,
+    /// 99th-percentile RPC latency (ns).
+    pub p99: u64,
+    /// Slowest observed RPC (ns, exact).
+    pub max: u64,
+}
+
+impl LatencyBlock {
+    fn from_snapshot(h: &HistogramSnapshot) -> LatencyBlock {
+        LatencyBlock {
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            max: h.max,
+        }
+    }
+}
+
+/// Read the merged `ldp_client_rpc_ns` histogram out of `registry`.
+fn client_rpc_latency(registry: &MetricsRegistry) -> LatencyBlock {
+    registry
+        .snapshot()
+        .into_iter()
+        .find(|s| s.name == "ldp_client_rpc_ns")
+        .and_then(|s| match s.value {
+            MetricValue::Histogram(h) => Some(LatencyBlock::from_snapshot(&h)),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
 /// One measured client count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetRun {
@@ -43,6 +84,9 @@ pub struct NetRun {
     pub elapsed_secs: f64,
     /// Reports carried over the wire per second, all clients combined.
     pub reports_per_sec: f64,
+    /// Per-RPC latency quantiles for the best round, merged across all
+    /// clients (each submit/open/close is one RPC; retries included).
+    pub latency_ns: LatencyBlock,
 }
 
 /// One fault kind driven through a `FlakyTransport` (feature `chaos`,
@@ -60,7 +104,8 @@ pub struct ChaosCell {
     pub faults_injected: u64,
     /// Connections the proxy carried (1 + reconnects).
     pub proxy_connections: u64,
-    /// Client-side retry count (all causes).
+    /// Client-side retry count (all causes), read from the client's
+    /// `ldp_obs` counters.
     pub client_retries: u64,
     /// Client-side reconnect count.
     pub client_reconnects: u64,
@@ -70,6 +115,9 @@ pub struct ChaosCell {
     pub client_timeouts: u64,
     /// Mean backoff slept per retry, milliseconds.
     pub mean_backoff_ms: f64,
+    /// Client-observed RPC latency under sustained faults, from the
+    /// same registry series as the throughput sweep.
+    pub latency_ns: LatencyBlock,
     /// Whether the estimate matched the in-process reference bit for
     /// bit (the run aborts if not, so a written artifact always says
     /// `true` — recorded for the reader's benefit).
@@ -142,11 +190,22 @@ pub struct NetBenchReport {
 impl NetBenchReport {
     /// Render the sweep as a fixed-width table.
     pub fn render(&self) -> String {
-        let mut table = Table::new(vec!["clients", "elapsed s", "reports/s"]);
+        let mut table = Table::new(vec![
+            "clients",
+            "elapsed s",
+            "reports/s",
+            "p50 us",
+            "p99 us",
+        ]);
         for run in &self.runs {
             table.push_numeric_row(
                 run.clients.to_string(),
-                &[run.elapsed_secs, run.reports_per_sec],
+                &[
+                    run.elapsed_secs,
+                    run.reports_per_sec,
+                    run.latency_ns.p50 as f64 / 1e3,
+                    run.latency_ns.p99 as f64 / 1e3,
+                ],
                 2,
             );
         }
@@ -187,6 +246,7 @@ impl ChaosReport {
             "retries",
             "reconnects",
             "backoff ms",
+            "p99 ms",
         ]);
         for cell in &self.cells {
             table.push_numeric_row(
@@ -198,6 +258,7 @@ impl ChaosReport {
                     cell.client_retries as f64,
                     cell.client_reconnects as f64,
                     cell.mean_backoff_ms,
+                    cell.latency_ns.p99 as f64 / 1e6,
                 ],
                 2,
             );
@@ -247,10 +308,16 @@ fn drive_client(
     epsilon: f64,
     domain_size: usize,
     part: &[UserResponse],
+    scope: &Scope,
 ) -> (u64, Vec<f64>) {
-    let mut client = NetClient::connect(addr.to_string(), tenant)
-        .expect("connect")
-        .with_window(WINDOW);
+    let mut client = NetClient::connect_with(
+        addr.to_string(),
+        tenant,
+        ClientOptions::default()
+            .window(WINDOW)
+            .metrics(scope.clone()),
+    )
+    .expect("connect");
     client
         .open_round_with(0, fo, epsilon, domain_size)
         .expect("open round");
@@ -307,6 +374,7 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
             .collect();
 
         let mut best_elapsed = f64::INFINITY;
+        let mut best_latency = LatencyBlock::default();
         for _ in 0..2 {
             let registry = TenantRegistry::new();
             for i in 0..parts.len() {
@@ -320,6 +388,11 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
             let server = NetServer::start("127.0.0.1:0", &registry, ServerConfig::default())
                 .expect("start server");
             let addr = server.addr().to_string();
+            // One fresh client-side registry per repetition: every
+            // client records into the same `ldp_client_rpc_ns` series,
+            // so the artifact's quantiles are merged across clients.
+            let obs = Arc::new(MetricsRegistry::new());
+            let client_scope = Scope::new(Arc::clone(&obs), &[]);
 
             let start = Instant::now();
             let results: Vec<(u64, Vec<f64>)> = std::thread::scope(|scope| {
@@ -328,6 +401,7 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
                     .enumerate()
                     .map(|(i, part)| {
                         let addr = addr.clone();
+                        let client_scope = client_scope.clone();
                         scope.spawn(move || {
                             drive_client(
                                 &addr,
@@ -336,6 +410,7 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
                                 epsilon,
                                 domain_size,
                                 part,
+                                &client_scope,
                             )
                         })
                     })
@@ -350,12 +425,16 @@ pub fn run(scale: RunScale, host: HostMeta) -> NetBenchReport {
             for ((_, frequencies), reference) in results.iter().zip(&references) {
                 assert_bit_identical(frequencies, reference);
             }
-            best_elapsed = best_elapsed.min(elapsed);
+            if elapsed < best_elapsed {
+                best_elapsed = elapsed;
+                best_latency = client_rpc_latency(&obs);
+            }
         }
         runs.push(NetRun {
             clients,
             elapsed_secs: best_elapsed,
             reports_per_sec: reports as f64 / best_elapsed,
+            latency_ns: best_latency,
         });
     }
 
@@ -387,9 +466,7 @@ pub fn chaos_reports(scale: RunScale) -> u64 {
 /// sequential in-process estimate before the artifact is written.
 #[cfg(feature = "chaos")]
 pub fn run_chaos(scale: RunScale) -> ChaosReport {
-    use ldp_net::{
-        ChaosConfig, ClientOptions, ClientStats, FaultKind, FlakyTransport, RetryPolicy,
-    };
+    use ldp_net::{ChaosConfig, ClientStats, FaultKind, FlakyTransport, RetryPolicy};
     use ldp_service::{RateLimit, TenantLimits};
     use std::time::Duration;
 
@@ -418,12 +495,16 @@ pub fn run_chaos(scale: RunScale) -> ChaosReport {
     let drive = |addr: String,
                  tenant: &str,
                  part: &[UserResponse],
-                 seed: u64|
+                 seed: u64,
+                 scope: &Scope|
      -> (u64, Vec<f64>, ClientStats) {
         let mut client = NetClient::connect_with(
             addr,
             tenant,
-            ClientOptions::default().window(window).retry(retry(seed)),
+            ClientOptions::default()
+                .window(window)
+                .retry(retry(seed))
+                .metrics(scope.clone()),
         )
         .expect("connect through proxy");
         client
@@ -464,9 +545,16 @@ pub fn run_chaos(scale: RunScale) -> ChaosReport {
         )
         .expect("proxy");
 
+        let obs = Arc::new(MetricsRegistry::new());
+        let scope = Scope::new(Arc::clone(&obs), &[]);
         let start = Instant::now();
-        let (reporters, frequencies, stats) =
-            drive(proxy.addr().to_string(), "chaos", &template, 77 + i as u64);
+        let (reporters, frequencies, stats) = drive(
+            proxy.addr().to_string(),
+            "chaos",
+            &template,
+            77 + i as u64,
+            &scope,
+        );
         let elapsed = start.elapsed().as_secs_f64();
         assert_eq!(
             reporters,
@@ -488,6 +576,7 @@ pub fn run_chaos(scale: RunScale) -> ChaosReport {
             client_overloaded: stats.overloaded,
             client_timeouts: stats.timeouts,
             mean_backoff_ms: stats.mean_backoff_ms(),
+            latency_ns: client_rpc_latency(&obs),
             bit_identical: true,
         });
     }
@@ -520,16 +609,21 @@ pub fn run_chaos(scale: RunScale) -> ChaosReport {
 
     let calm_part: Vec<UserResponse> = template[..reports / 2].to_vec();
     let calm_reference = sequential_reference(&oracle, fo, epsilon, &calm_part);
+    let overload_obs = Arc::new(MetricsRegistry::new());
     let (flood_stats, co_tenant_ok) = std::thread::scope(|scope| {
         let flood_addr = addr.clone();
+        let flood_scope = Scope::new(Arc::clone(&overload_obs), &[("client", "flood")]);
+        let calm_scope = Scope::new(Arc::clone(&overload_obs), &[("client", "calm")]);
         let (drive, reference, flood_part) = (&drive, &reference, &template);
         let flood = scope.spawn(move || {
-            let (reporters, frequencies, stats) = drive(flood_addr, "flood", flood_part, 501);
+            let (reporters, frequencies, stats) =
+                drive(flood_addr, "flood", flood_part, 501, &flood_scope);
             assert_eq!(reporters, reports as u64, "flood lost/dup reports");
             assert_bit_identical(&frequencies, reference);
             stats
         });
-        let (calm_reporters, calm_frequencies, _) = drive(addr.clone(), "calm", &calm_part, 502);
+        let (calm_reporters, calm_frequencies, _) =
+            drive(addr.clone(), "calm", &calm_part, 502, &calm_scope);
         assert_eq!(calm_reporters, calm_part.len() as u64);
         assert_bit_identical(&calm_frequencies, &calm_reference);
         (flood.join().expect("flood thread"), true)
@@ -570,6 +664,11 @@ mod tests {
         assert_eq!(report.reports_per_round, 100_000);
         for run in &report.runs {
             assert!(run.reports_per_sec > 0.0, "{run:?}");
+            // The latency block is scraped from the live registry, so a
+            // measured run always has a populated histogram.
+            assert!(run.latency_ns.max > 0, "{run:?}");
+            assert!(run.latency_ns.p50 <= run.latency_ns.p95, "{run:?}");
+            assert!(run.latency_ns.p95 <= run.latency_ns.p99, "{run:?}");
         }
         // Round-trips through serde.
         let json = serde_json::to_string(&report).unwrap();

@@ -22,8 +22,8 @@
 //! constant-time comparison ([`constant_time_eq`]); failures are typed
 //! [`WireError::AuthFailed`](crate::frame::WireError::AuthFailed).
 
+use ldp_obs::{Counter, Gauge, Scope};
 use ldp_service::TenantLimits;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -84,13 +84,49 @@ impl AdmissionSnapshot {
     }
 }
 
-#[derive(Debug, Default)]
-struct AdmissionStats {
-    admitted: AtomicU64,
-    shed_rate: AtomicU64,
-    shed_inflight: AtomicU64,
-    shed_queue: AtomicU64,
-    auth_failures: AtomicU64,
+/// The [`ldp_obs`] handles behind one tenant's admission counters —
+/// the *only* counting path; [`AdmissionSnapshot`] is a derived view.
+#[derive(Debug)]
+struct AdmissionObs {
+    admitted: Arc<Counter>,
+    shed_rate: Arc<Counter>,
+    shed_inflight: Arc<Counter>,
+    shed_queue: Arc<Counter>,
+    auth_failures: Arc<Counter>,
+    rate_wait_ms: Arc<Counter>,
+    inflight: Arc<Gauge>,
+}
+
+impl AdmissionObs {
+    fn in_scope(scope: &Scope) -> AdmissionObs {
+        let shed = |reason: &str| {
+            scope.with(&[("reason", reason)]).counter(
+                "ldp_admission_shed_total",
+                "Submit frames shed by admission control, by reason.",
+            )
+        };
+        AdmissionObs {
+            admitted: scope.counter(
+                "ldp_admission_admitted_total",
+                "Submit frames admitted into the dispatcher queue.",
+            ),
+            shed_rate: shed("rate"),
+            shed_inflight: shed("inflight"),
+            shed_queue: shed("queue"),
+            auth_failures: scope.counter(
+                "ldp_auth_failures_total",
+                "Hello frames rejected by the shared-secret check.",
+            ),
+            rate_wait_ms: scope.counter(
+                "ldp_admission_rate_wait_ms_total",
+                "Total retry-after milliseconds suggested to rate-limited clients.",
+            ),
+            inflight: scope.gauge(
+                "ldp_inflight",
+                "Submit frames currently queued or executing.",
+            ),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -106,13 +142,20 @@ struct Bucket {
 pub struct Admission {
     limits: TenantLimits,
     bucket: Option<Mutex<Bucket>>,
-    inflight: AtomicUsize,
-    stats: AdmissionStats,
+    obs: AdmissionObs,
 }
 
 impl Admission {
-    /// Admission state enforcing `limits`.
+    /// Admission state enforcing `limits`, counting into a private
+    /// registry (see [`with_obs`](Self::with_obs) to share one).
     pub fn new(limits: TenantLimits) -> Admission {
+        Admission::with_obs(limits, &Scope::standalone())
+    }
+
+    /// Admission state enforcing `limits`, counting into `scope` (the
+    /// server passes the tenant's `tenant="<id>"` scope so one scrape
+    /// covers every tenant's admission decisions).
+    pub fn with_obs(limits: TenantLimits, scope: &Scope) -> Admission {
         let bucket = limits.rate.map(|rate| {
             Mutex::new(Bucket {
                 tokens: rate.burst as f64,
@@ -122,8 +165,7 @@ impl Admission {
         Admission {
             limits,
             bucket,
-            inflight: AtomicUsize::new(0),
-            stats: AdmissionStats::default(),
+            obs: AdmissionObs::in_scope(scope),
         }
     }
 
@@ -140,7 +182,7 @@ impl Admission {
             },
         };
         if !ok {
-            self.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            self.obs.auth_failures.inc();
         }
         ok
     }
@@ -150,16 +192,22 @@ impl Admission {
     /// On success the returned [`InflightGuard`] holds one in-flight
     /// slot until dropped (after the dispatcher replies). On refusal
     /// the caller sheds with the returned reason and backoff hint.
+    ///
+    /// Admission alone does not count the frame as admitted — the
+    /// caller still has to win the non-blocking enqueue, and reports
+    /// success with [`note_admitted`](Self::note_admitted), so the
+    /// admitted counter stays monotonic (a Prometheus requirement).
     pub fn admit(
         self: &Arc<Self>,
         reports: usize,
     ) -> Result<InflightGuard, (ShedReason, Duration)> {
+        // Optimistic increment (the gauge returns the post-add level);
+        // undo on any refusal below.
+        let inflight_now = self.obs.inflight.add(1);
         if let Some(max) = self.limits.max_inflight {
-            // Optimistic increment; undo on any refusal below.
-            let prior = self.inflight.fetch_add(1, Ordering::AcqRel);
-            if prior >= max {
-                self.inflight.fetch_sub(1, Ordering::AcqRel);
-                self.stats.shed_inflight.fetch_add(1, Ordering::Relaxed);
+            if inflight_now > max as i64 {
+                self.obs.inflight.add(-1);
+                self.obs.shed_inflight.inc();
                 return Err((
                     ShedReason::Inflight,
                     Duration::from_millis(DEFAULT_RETRY_AFTER_MS),
@@ -167,24 +215,26 @@ impl Admission {
             }
         }
         if let Some(wait) = self.take_tokens(reports) {
-            if self.limits.max_inflight.is_some() {
-                self.inflight.fetch_sub(1, Ordering::AcqRel);
-            }
-            self.stats.shed_rate.fetch_add(1, Ordering::Relaxed);
+            self.obs.inflight.add(-1);
+            self.obs.shed_rate.inc();
+            self.obs.rate_wait_ms.add(wait.as_millis() as u64);
             return Err((ShedReason::Rate, wait));
         }
-        self.stats.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(InflightGuard {
             admission: Arc::clone(self),
         })
     }
 
+    /// Record that an admitted submit made it into the dispatcher
+    /// queue (the counterpart of [`note_queue_shed`](Self::note_queue_shed)).
+    pub fn note_admitted(&self) {
+        self.obs.admitted.inc();
+    }
+
     /// Record a queue-full shed decided by the caller (the guard from
     /// [`admit`](Self::admit) must be dropped by then).
     pub fn note_queue_shed(&self) {
-        // admit() counted the frame as admitted; reclassify it.
-        self.stats.admitted.fetch_sub(1, Ordering::Relaxed);
-        self.stats.shed_queue.fetch_add(1, Ordering::Relaxed);
+        self.obs.shed_queue.inc();
     }
 
     /// Spend `reports` tokens, or return how long until they refill.
@@ -214,17 +264,18 @@ impl Admission {
 
     /// Current in-flight submit count (queued + executing).
     pub fn inflight(&self) -> usize {
-        self.inflight.load(Ordering::Acquire)
+        self.obs.inflight.get().max(0) as usize
     }
 
-    /// Snapshot the monotonic admission counters.
+    /// Snapshot the monotonic admission counters — a cheap view over
+    /// the underlying [`ldp_obs`] counters, never a second tally.
     pub fn snapshot(&self) -> AdmissionSnapshot {
         AdmissionSnapshot {
-            admitted: self.stats.admitted.load(Ordering::Relaxed),
-            shed_rate: self.stats.shed_rate.load(Ordering::Relaxed),
-            shed_inflight: self.stats.shed_inflight.load(Ordering::Relaxed),
-            shed_queue: self.stats.shed_queue.load(Ordering::Relaxed),
-            auth_failures: self.stats.auth_failures.load(Ordering::Relaxed),
+            admitted: self.obs.admitted.get(),
+            shed_rate: self.obs.shed_rate.get(),
+            shed_inflight: self.obs.shed_inflight.get(),
+            shed_queue: self.obs.shed_queue.get(),
+            auth_failures: self.obs.auth_failures.get(),
         }
     }
 }
@@ -239,9 +290,7 @@ pub struct InflightGuard {
 
 impl Drop for InflightGuard {
     fn drop(&mut self) {
-        if self.admission.limits.max_inflight.is_some() {
-            self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
-        }
+        self.admission.obs.inflight.add(-1);
     }
 }
 
@@ -270,10 +319,12 @@ mod tests {
         assert!(adm.check_auth(Some("anything")));
         for _ in 0..1000 {
             let guard = adm.admit(10_000).expect("open limits never shed");
+            adm.note_admitted();
             drop(guard);
         }
         assert_eq!(adm.snapshot().shed_total(), 0);
         assert_eq!(adm.snapshot().admitted, 1000);
+        assert_eq!(adm.inflight(), 0, "guards released every slot");
     }
 
     #[test]
@@ -298,7 +349,9 @@ mod tests {
             ..TenantLimits::open()
         });
         adm.admit(60).expect("within burst");
+        adm.note_admitted();
         adm.admit(40).expect("exactly exhausts burst");
+        adm.note_admitted();
         let (reason, wait) = adm.admit(1).expect_err("bucket is empty");
         assert_eq!(reason, ShedReason::Rate);
         assert!(wait >= Duration::from_millis(1));
@@ -341,7 +394,10 @@ mod tests {
     }
 
     #[test]
-    fn queue_shed_reclassifies_the_admit() {
+    fn queue_shed_never_counts_as_admitted() {
+        // The admitted counter only moves on note_admitted() — i.e.
+        // after the enqueue wins — so a queue-full shed leaves it
+        // untouched and both series stay monotonic.
         let adm = admission(TenantLimits::open());
         let guard = adm.admit(5).unwrap();
         drop(guard);

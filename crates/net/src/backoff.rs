@@ -103,11 +103,16 @@ pub struct ClientStats {
 
 impl ClientStats {
     /// Mean backoff per retry, in milliseconds (0 when never retried).
+    ///
+    /// Computed from total *nanoseconds*: `as_secs_f64()` folds the
+    /// subsecond part into a value that already lost precision for
+    /// large totals, whereas the nanosecond count stays exact in an
+    /// `f64` up to ~104 days of accumulated backoff.
     pub fn mean_backoff_ms(&self) -> f64 {
         if self.retries == 0 {
             0.0
         } else {
-            self.backoff_total.as_secs_f64() * 1000.0 / self.retries as f64
+            self.backoff_total.as_nanos() as f64 / 1e6 / self.retries as f64
         }
     }
 }
@@ -172,5 +177,21 @@ mod tests {
             ..Default::default()
         };
         assert!((stats.mean_backoff_ms() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_backoff_keeps_subsecond_precision_on_large_totals() {
+        // A million seconds plus one nanosecond: as_secs_f64() rounds
+        // the nanosecond away (1e6 + 1e-9 is not representable), while
+        // the nanosecond total (1e15 + 1) sits well inside f64's exact
+        // integer range.
+        let stats = ClientStats {
+            retries: 1,
+            backoff_total: Duration::new(1_000_000, 1),
+            ..Default::default()
+        };
+        assert_eq!(stats.mean_backoff_ms(), 1_000_000_000_000_001.0 / 1e6);
+        // The old seconds-based formula collapses to exactly 1e9 ms.
+        assert_ne!(stats.mean_backoff_ms(), 1e9);
     }
 }

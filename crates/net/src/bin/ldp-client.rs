@@ -7,6 +7,7 @@
 //!            [--fo grr|oue|olh|adaptive] [--epsilon E] [--domain D]
 //!            [--reports N] [--seed S] [--chunk C] [--window W]
 //!            [--check-inprocess]
+//! ldp-client --addr HOST:PORT --stats [--scope TENANT]
 //! ```
 //!
 //! Reports are generated deterministically from `--seed` (value drawn,
@@ -16,11 +17,16 @@
 //! in-process [`AggregationServer`] and the two estimates are compared
 //! bit for bit; any mismatch exits non-zero.
 //!
+//! `--stats` instead scrapes the server's live metrics registry over
+//! the wire (no tenant binding required) and prints every sample;
+//! `--scope TENANT` restricts the scrape to one tenant's series.
+//!
 //! [`AggregationServer`]: ldp_ids::protocol::AggregationServer
 
 use ldp_fo::{build_oracle, FoKind};
 use ldp_ids::protocol::{AggregationServer, UserResponse};
-use ldp_net::{ClientOptions, NetClient, NetError};
+use ldp_net::{scrape_stats, ClientOptions, NetClient, NetError};
+use ldp_obs::MetricValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -29,7 +35,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ldp-client --addr HOST:PORT [--tenant NAME] [--token TOKEN] [--fo KIND] \
          [--epsilon E] [--domain D] [--reports N] [--seed S] [--chunk C] [--window W] \
-         [--check-inprocess]"
+         [--check-inprocess]\n\
+         \x20      ldp-client --addr HOST:PORT --stats [--scope TENANT]"
     );
     std::process::exit(2);
 }
@@ -46,6 +53,8 @@ struct Opts {
     chunk: usize,
     window: usize,
     check_inprocess: bool,
+    stats: bool,
+    scope: Option<String>,
 }
 
 fn parse_opts() -> Opts {
@@ -61,6 +70,8 @@ fn parse_opts() -> Opts {
         chunk: 4096,
         window: ldp_net::DEFAULT_WINDOW,
         check_inprocess: false,
+        stats: false,
+        scope: None,
     };
     let mut args = std::env::args().skip(1);
     fn value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -86,6 +97,8 @@ fn parse_opts() -> Opts {
             "--chunk" => opts.chunk = value::<usize>(&mut args, "--chunk").max(1),
             "--window" => opts.window = value::<usize>(&mut args, "--window").max(1),
             "--check-inprocess" => opts.check_inprocess = true,
+            "--stats" => opts.stats = true,
+            "--scope" => opts.scope = Some(value(&mut args, "--scope")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("ldp-client: unknown argument `{other}`");
@@ -219,9 +232,51 @@ fn run(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Scrape and print the server's live metrics registry.
+fn run_stats(opts: &Opts) -> Result<(), String> {
+    let (version, samples) = scrape_stats(
+        &opts.addr,
+        opts.scope.as_deref(),
+        std::time::Duration::from_secs(10),
+    )
+    .map_err(|e| format!("stats scrape {}: {}", opts.addr, describe(&e)))?;
+    println!("stats schema v{version}, {} samples", samples.len());
+    for sample in &samples {
+        let labels = if sample.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match &sample.value {
+            MetricValue::Counter(v) => println!("{}{labels} {v}", sample.name),
+            MetricValue::Gauge(v) => println!("{}{labels} {v}", sample.name),
+            MetricValue::Histogram(h) => println!(
+                "{}{labels} count={} p50={} p95={} p99={} max={}",
+                sample.name,
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max,
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let opts = parse_opts();
-    if let Err(e) = run(&opts) {
+    let result = if opts.stats {
+        run_stats(&opts)
+    } else {
+        run(&opts)
+    };
+    if let Err(e) = result {
         eprintln!("ldp-client: {e}");
         std::process::exit(1);
     }

@@ -2,7 +2,8 @@
 //! service.
 //!
 //! ```text
-//! ldp-server [--addr HOST:PORT] [--tenant NAME[:THREADS][=DIR]]...
+//! ldp-server [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+//!            [--tenant NAME[:THREADS][=DIR]]...
 //!            [--token NAME:TOKEN]... [--rate NAME:REPORTS_PER_SEC:BURST]...
 //!            [--max-inflight NAME:N]...
 //! ```
@@ -18,17 +19,24 @@
 //! frames carrying a `retry_after_ms` hint); `--max-inflight` caps
 //! queued-or-executing submit frames. Tenants without flags are open.
 //!
+//! `--metrics-addr` additionally binds a plaintext TCP endpoint serving
+//! the whole registry (every tenant's service metrics plus the wire
+//! layer) in Prometheus text exposition — `curl` it, point a scraper at
+//! it, or just `nc` it (non-HTTP connections get the bare body).
+//!
 //! The process serves until killed; the first stdout line is
 //! `listening on ADDR`, so scripts can wait for readiness.
 
 use ldp_net::{NetServer, ServerConfig};
+use ldp_obs::MetricsExporter;
 use ldp_service::{RateLimit, ServiceConfig, TenantLimits, TenantRegistry, TenantSpec};
 use std::collections::HashMap;
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ldp-server [--addr HOST:PORT] [--tenant NAME[:THREADS][=DIR]]... \
+        "usage: ldp-server [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
+         [--tenant NAME[:THREADS][=DIR]]... \
          [--token NAME:TOKEN]... [--rate NAME:RPS:BURST]... [--max-inflight NAME:N]..."
     );
     std::process::exit(2);
@@ -66,6 +74,7 @@ fn split_tenant_arg<'a>(arg: &'a str, flag: &str) -> Result<(&'a str, &'a str), 
 
 fn main() {
     let mut addr = String::from("127.0.0.1:7878");
+    let mut metrics_addr: Option<String> = None;
     let mut specs: Vec<TenantSpec> = Vec::new();
     let mut limits: HashMap<String, TenantLimits> = HashMap::new();
 
@@ -77,6 +86,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--metrics-addr" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--tenant" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 match parse_tenant(&spec) {
@@ -153,6 +163,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Keep the exporter alive for the life of the process.
+    let _exporter = metrics_addr.map(|metrics_addr| {
+        match MetricsExporter::start(&metrics_addr, registry.metrics()) {
+            Ok(exporter) => {
+                println!("metrics on {}", exporter.addr());
+                exporter
+            }
+            Err(e) => {
+                eprintln!("ldp-server: bind metrics {metrics_addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!("listening on {}", server.addr());
     println!("tenants: {}", registry.tenant_ids().join(", "));
     let _ = std::io::stdout().flush();

@@ -29,9 +29,11 @@ use crate::backoff::{ClientStats, RetryPolicy};
 use crate::codec::{encode_frame, FrameBuffer};
 use crate::error::NetError;
 use crate::frame::{AckBody, Frame, WireError};
+use crate::metrics::ClientMetrics;
 use ldp_fo::FoKind;
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
+use ldp_obs::{MetricSample, Scope};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -53,6 +55,10 @@ pub struct ClientOptions {
     pub token: Option<String>,
     /// Deadline/backoff/retry policy for every RPC.
     pub retry: RetryPolicy,
+    /// Metrics scope the client records into; `None` gives the client
+    /// a private registry. Sharing one scope across a fleet of clients
+    /// merges their latency/retry series (same labels → same handles).
+    pub metrics: Option<Scope>,
 }
 
 impl Default for ClientOptions {
@@ -61,6 +67,7 @@ impl Default for ClientOptions {
             window: DEFAULT_WINDOW,
             token: None,
             retry: RetryPolicy::default(),
+            metrics: None,
         }
     }
 }
@@ -81,6 +88,13 @@ impl ClientOptions {
     /// Use `retry` as the deadline/backoff policy.
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Record this client's metrics into `scope` instead of a private
+    /// registry.
+    pub fn metrics(mut self, scope: Scope) -> Self {
+        self.metrics = Some(scope);
         self
     }
 }
@@ -107,7 +121,7 @@ pub struct NetClient {
     unacked: usize,
     window: usize,
     retry: RetryPolicy,
-    stats: ClientStats,
+    metrics: ClientMetrics,
 }
 
 impl NetClient {
@@ -156,21 +170,21 @@ impl NetClient {
         options: ClientOptions,
     ) -> Result<Self, NetError> {
         let retry = options.retry;
+        // One counting path from the very first connect attempt: the
+        // metrics outlive failed attempts, so connect-time backoff is
+        // visible in the attached client's stats.
+        let metrics = match &options.metrics {
+            Some(scope) => ClientMetrics::in_scope(scope),
+            None => ClientMetrics::standalone(),
+        };
         let mut attempt: u32 = 0;
-        let mut retries: u64 = 0;
-        let mut backoff_total = Duration::ZERO;
         loop {
-            match Self::attach_once(&addr, &tenant, resume, &options) {
-                Ok(mut client) => {
-                    client.stats.retries = retries;
-                    client.stats.backoff_total = backoff_total;
-                    return Ok(client);
-                }
+            match Self::attach_once(&addr, &tenant, resume, &options, metrics.clone()) {
+                Ok(client) => return Ok(client),
                 Err(e) if e.retryable() && attempt < retry.max_retries => {
                     let delay = retry.delay(attempt, e.retry_after());
                     std::thread::sleep(delay);
-                    backoff_total += delay;
-                    retries += 1;
+                    metrics.record_backoff(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -183,6 +197,7 @@ impl NetClient {
         tenant: &str,
         resume: Option<u64>,
         options: &ClientOptions,
+        metrics: ClientMetrics,
     ) -> Result<Self, NetError> {
         let stream = connect_stream(addr, options.retry.rpc_timeout)?;
         let mut client = NetClient {
@@ -200,7 +215,7 @@ impl NetClient {
             unacked: 0,
             window: options.window.max(1),
             retry: options.retry,
-            stats: ClientStats::default(),
+            metrics,
         };
         client.hello(resume)?;
         Ok(client)
@@ -227,9 +242,15 @@ impl NetClient {
         self.open_round
     }
 
-    /// Counters of this client's retry/reconnect behaviour.
+    /// Counters of this client's retry/reconnect behaviour — a view
+    /// over the client's [`ClientMetrics`] handles.
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// The metric handles this client records into.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
     }
 
     /// Sever the connection without closing the session — test/ops
@@ -247,7 +268,7 @@ impl NetClient {
     /// connection is still healthy.
     pub fn recover(&mut self) -> Result<(), NetError> {
         self.stream = connect_stream(&self.addr, self.retry.rpc_timeout)?;
-        self.stats.reconnects += 1;
+        self.metrics.reconnects.inc();
         self.fb.clear();
         // Replies in flight on the dead connection are gone with it.
         self.unacked = 0;
@@ -386,6 +407,33 @@ impl NetClient {
         })
     }
 
+    /// Scrape the server's metrics registry over the wire.
+    ///
+    /// `scope` of `Some(tenant)` restricts the reply to that tenant's
+    /// samples; `None` returns everything the server records (all
+    /// tenants plus the wire layer). Returns the server's stats schema
+    /// version alongside the samples. See also [`scrape_stats`] for a
+    /// scrape without binding a tenant session.
+    pub fn server_stats(
+        &mut self,
+        scope: Option<&str>,
+    ) -> Result<(u8, Vec<MetricSample>), NetError> {
+        let scope = scope.map(str::to_string);
+        self.with_retry(|c| {
+            let deadline = c.deadline();
+            c.drain_acks(0, deadline)?;
+            let corr = c.corr();
+            c.send(&Frame::StatsRequest {
+                corr,
+                scope: scope.clone(),
+            })?;
+            match c.expect_ack(corr, deadline)? {
+                AckBody::Stats { version, samples } => Ok((version, samples)),
+                other => Err(unexpected("Stats", &other)),
+            }
+        })
+    }
+
     // ------------------------------------------------------------------
     // internals
 
@@ -403,10 +451,15 @@ impl NetClient {
         &mut self,
         mut op: impl FnMut(&mut Self) -> Result<T, NetError>,
     ) -> Result<T, NetError> {
+        let rpc_start = Instant::now();
+        let done = |c: &mut Self, v| {
+            c.metrics.rpc_ns.record_duration(rpc_start.elapsed());
+            Ok(v)
+        };
         let mut attempt: u32 = 0;
         let mut queued = self.inflight.len();
         let mut err = match op(self) {
-            Ok(v) => return Ok(v),
+            Ok(v) => return done(self, v),
             Err(e) => e,
         };
         loop {
@@ -418,19 +471,18 @@ impl NetClient {
                 return Err(err);
             }
             if matches!(&err, NetError::Remote(WireError::Overloaded { .. })) {
-                self.stats.overloaded += 1;
+                self.metrics.overloaded.inc();
             }
             let delay = self.retry.delay(attempt, err.retry_after());
             std::thread::sleep(delay);
-            self.stats.backoff_total += delay;
-            self.stats.retries += 1;
+            self.metrics.record_backoff(delay);
             attempt += 1;
             // Resync through a fresh connection whatever the failure:
             // Hello re-reads the server's sequencing state, so we never
             // guess which frames survived the old connection.
             err = match self.recover() {
                 Ok(()) => match op(self) {
-                    Ok(v) => return Ok(v),
+                    Ok(v) => return done(self, v),
                     Err(e) => e,
                 },
                 Err(e) => e,
@@ -514,7 +566,7 @@ impl NetClient {
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
                     if Instant::now() >= deadline {
-                        self.stats.timeouts += 1;
+                        self.metrics.timeouts.inc();
                         return Err(NetError::Timeout {
                             after_ms: self.retry.rpc_timeout.as_millis() as u64,
                         });
@@ -605,6 +657,61 @@ fn connect_stream(addr: &str, rpc_timeout: Duration) -> Result<TcpStream, NetErr
             format!("cannot resolve {addr}"),
         )
     })))
+}
+
+/// Scrape a server's metrics registry without binding a tenant session.
+///
+/// `StatsRequest` is the one frame valid before `Hello`, so operators
+/// (and `ldp-client --stats`) can scrape a server whose tenants they
+/// know nothing about. `scope` filters to one tenant's samples.
+pub fn scrape_stats(
+    addr: &str,
+    scope: Option<&str>,
+    timeout: Duration,
+) -> Result<(u8, Vec<MetricSample>), NetError> {
+    let mut stream = connect_stream(addr, timeout)?;
+    stream.write_all(&encode_frame(&Frame::StatsRequest {
+        corr: 1,
+        scope: scope.map(str::to_string),
+    }))?;
+    let deadline = Instant::now() + timeout;
+    let mut fb = FrameBuffer::new();
+    loop {
+        if let Some(frame) = fb.next_frame()? {
+            return match frame {
+                Frame::Ack {
+                    body: AckBody::Stats { version, samples },
+                    ..
+                } => Ok((version, samples)),
+                Frame::Err { error, .. } => Err(NetError::Remote(error)),
+                other => Err(NetError::Protocol {
+                    detail: format!("expected Stats ack, got {other:?}"),
+                }),
+            };
+        }
+        let mut buf = [0u8; 16 * 1024];
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Ok(n) => fb.feed(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Timeout {
+                        after_ms: timeout.as_millis() as u64,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 fn unexpected(wanted: &str, got: &AckBody) -> NetError {

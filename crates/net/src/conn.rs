@@ -23,7 +23,8 @@
 
 use crate::codec::{encode_frame, FrameBuffer};
 use crate::error::FrameError;
-use crate::frame::{Frame, WireError, WIRE_VERSION};
+use crate::frame::{AckBody, Frame, WireError, STATS_VERSION, WIRE_VERSION};
+use crate::metrics::ServerMetrics;
 use crate::server::ServerConfig;
 use crate::tenant::{TenantHandle, TenantWork, Tenants};
 use std::io::{Read, Write};
@@ -40,6 +41,7 @@ pub(crate) fn serve(
     tenants: Arc<Tenants>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
+    metrics: ServerMetrics,
 ) {
     if stream.set_read_timeout(Some(config.poll_interval)).is_err() {
         return;
@@ -47,23 +49,29 @@ pub(crate) fn serve(
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    metrics.connections().inc();
     // Bounded reply lane: the dispatcher blocks here if this client
     // stops reading, rather than buffering its replies unboundedly.
     let (reply_tx, reply_rx) = sync_channel::<Frame>(config.queue_depth);
-    let writer = std::thread::Builder::new()
-        .name("conn-writer".into())
-        .spawn(move || {
-            let mut write_half = write_half;
-            while let Ok(frame) = reply_rx.recv() {
-                if write_half.write_all(&encode_frame(&frame)).is_err() {
-                    break;
+    let writer = {
+        let metrics = metrics.clone();
+        std::thread::Builder::new()
+            .name("conn-writer".into())
+            .spawn(move || {
+                let mut write_half = write_half;
+                while let Ok(frame) = reply_rx.recv() {
+                    metrics.record_out(&frame);
+                    if write_half.write_all(&encode_frame(&frame)).is_err() {
+                        break;
+                    }
                 }
-            }
-            let _ = write_half.flush();
-        })
-        .expect("spawn connection writer");
+                let _ = write_half.flush();
+            })
+            .expect("spawn connection writer")
+    };
 
-    read_loop(stream, &tenants, &config, &stop, &reply_tx);
+    read_loop(stream, &tenants, &config, &stop, &reply_tx, &metrics);
+    metrics.connections().dec();
 
     // Dropping our reply sender lets the writer drain queued replies
     // (including any dispatcher replies still in flight via its own
@@ -78,6 +86,7 @@ fn read_loop(
     config: &ServerConfig,
     stop: &AtomicBool,
     reply_tx: &SyncSender<Frame>,
+    metrics: &ServerMetrics,
 ) {
     let mut fb = FrameBuffer::new();
     let mut tenant: Option<TenantHandle> = None;
@@ -115,7 +124,8 @@ fn read_loop(
                     return;
                 }
             };
-            match route(frame, tenants, &mut tenant, reply_tx, config) {
+            metrics.record_in(&frame);
+            match route(frame, tenants, &mut tenant, reply_tx, config, metrics) {
                 Routed::Ok => {}
                 Routed::Closed => return,
             }
@@ -134,6 +144,7 @@ fn route(
     tenant: &mut Option<TenantHandle>,
     reply_tx: &SyncSender<Frame>,
     config: &ServerConfig,
+    metrics: &ServerMetrics,
 ) -> Routed {
     let corr = frame.corr();
     let reject = |error: WireError| {
@@ -143,6 +154,27 @@ fn route(
             Routed::Closed
         }
     };
+    // Stats requests are answered from the shared registry right here —
+    // before the Hello check, so operators scrape without binding (or
+    // even having) a tenant.
+    if let Frame::StatsRequest { scope, .. } = &frame {
+        let mut samples = metrics.registry().snapshot();
+        if let Some(scope) = scope {
+            samples.retain(|s| s.label("tenant") == Some(scope));
+        }
+        let reply = Frame::Ack {
+            corr,
+            body: AckBody::Stats {
+                version: STATS_VERSION,
+                samples,
+            },
+        };
+        return if reply_tx.send(reply).is_ok() {
+            Routed::Ok
+        } else {
+            Routed::Closed
+        };
+    }
     // Hello (re)binds the connection's tenant; everything else requires
     // a prior Hello.
     if let Frame::Hello {
@@ -180,7 +212,13 @@ fn route(
             inflight: Some(guard),
         };
         return match handle.queue.try_send(work) {
-            Ok(()) => Routed::Ok,
+            Ok(()) => {
+                // Counted only after the enqueue wins, so the admitted
+                // series is monotonic (a queue-full refusal below never
+                // has to take the count back).
+                handle.admission.note_admitted();
+                Routed::Ok
+            }
             Err(std::sync::mpsc::TrySendError::Full(work)) => {
                 drop(work); // releases the in-flight slot
                 handle.admission.note_queue_shed();

@@ -22,6 +22,7 @@
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
 use ldp_ids::CoreError;
+use ldp_obs::{HistogramSnapshot, MetricSample, MetricValue};
 use ldp_service::codec::{
     put_estimate, put_request, put_response, put_str, put_u32, put_u64, take_estimate,
     take_request, take_response, Cursor,
@@ -31,6 +32,11 @@ use crate::error::FrameError;
 
 /// The one wire version this implementation speaks.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Version of the stats body carried by [`AckBody::Stats`], independent
+/// of [`WIRE_VERSION`] so the metrics schema can evolve without a
+/// protocol bump.
+pub const STATS_VERSION: u8 = 1;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +94,15 @@ pub enum Frame {
         /// the original estimate bit for bit.
         round: u64,
     },
+    /// Client → server: scrape the server's metrics registry. Allowed
+    /// before `Hello` (operators scrape without binding a tenant).
+    StatsRequest {
+        /// Correlation id echoed in the reply.
+        corr: u64,
+        /// Restrict the reply to samples labelled `tenant="<scope>"`;
+        /// `None` returns every sample.
+        scope: Option<String>,
+    },
     /// Server → client: the positive reply to one request.
     Ack {
         /// The request's correlation id.
@@ -138,6 +153,15 @@ pub enum AckBody {
     Closed {
         /// The round estimate.
         estimate: RoundEstimate,
+    },
+    /// Reply to [`Frame::StatsRequest`]: a snapshot of the server's
+    /// metrics registry.
+    Stats {
+        /// The stats schema version the server speaks (see
+        /// [`STATS_VERSION`]).
+        version: u8,
+        /// The captured samples, ordered by `(name, labels)`.
+        samples: Vec<MetricSample>,
     },
 }
 
@@ -325,6 +349,93 @@ const TAG_SUBMIT_BATCH: u8 = 3;
 const TAG_CLOSE_ROUND: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_ERR: u8 = 6;
+const TAG_STATS: u8 = 7;
+
+/// Display names of the frame kinds, indexed by
+/// [`Frame::kind_index`] — the `tag` label values of the
+/// `ldp_net_frames_*_total` counters.
+pub const FRAME_KIND_NAMES: [&str; 7] = [
+    "hello",
+    "open_round",
+    "submit_batch",
+    "close_round",
+    "ack",
+    "err",
+    "stats",
+];
+
+fn put_metric_sample(out: &mut Vec<u8>, sample: &MetricSample) {
+    put_str(out, &sample.name);
+    put_u32(out, sample.labels.len() as u32);
+    for (k, v) in &sample.labels {
+        put_str(out, k);
+        put_str(out, v);
+    }
+    match &sample.value {
+        MetricValue::Counter(v) => {
+            out.push(0);
+            put_u64(out, *v);
+        }
+        MetricValue::Gauge(v) => {
+            out.push(1);
+            // i64 travels as its two's-complement bit pattern.
+            put_u64(out, *v as u64);
+        }
+        MetricValue::Histogram(h) => {
+            out.push(2);
+            put_u64(out, h.count);
+            put_u64(out, h.sum);
+            put_u64(out, h.max);
+            put_u32(out, h.buckets.len() as u32);
+            for b in &h.buckets {
+                put_u64(out, *b);
+            }
+        }
+    }
+}
+
+fn take_metric_sample(cur: &mut Cursor<'_>, payload_len: usize) -> Result<MetricSample, String> {
+    let name = cur.str()?;
+    let nlabels = cur.u32()? as usize;
+    if nlabels > payload_len {
+        return Err(format!("label count {nlabels} exceeds payload"));
+    }
+    let mut labels = Vec::with_capacity(nlabels);
+    for _ in 0..nlabels {
+        let k = cur.str()?;
+        let v = cur.str()?;
+        labels.push((k, v));
+    }
+    let value = match cur.u8()? {
+        0 => MetricValue::Counter(cur.u64()?),
+        1 => MetricValue::Gauge(cur.u64()? as i64),
+        2 => {
+            let count = cur.u64()?;
+            let sum = cur.u64()?;
+            let max = cur.u64()?;
+            let nbuckets = cur.u32()? as usize;
+            if nbuckets > payload_len {
+                return Err(format!("bucket count {nbuckets} exceeds payload"));
+            }
+            let mut buckets = Vec::with_capacity(nbuckets);
+            for _ in 0..nbuckets {
+                buckets.push(cur.u64()?);
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count,
+                sum,
+                max,
+            })
+        }
+        tag => return Err(format!("unknown metric value tag {tag}")),
+    };
+    Ok(MetricSample {
+        name,
+        labels,
+        value,
+    })
+}
 
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
@@ -370,9 +481,29 @@ impl Frame {
             | Frame::OpenRound { corr, .. }
             | Frame::SubmitBatch { corr, .. }
             | Frame::CloseRound { corr, .. }
+            | Frame::StatsRequest { corr, .. }
             | Frame::Ack { corr, .. }
             | Frame::Err { corr, .. } => *corr,
         }
+    }
+
+    /// A dense index for this frame's kind, usable to pick a per-tag
+    /// counter; [`FRAME_KIND_NAMES`] maps it back to a display name.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Frame::Hello { .. } => 0,
+            Frame::OpenRound { .. } => 1,
+            Frame::SubmitBatch { .. } => 2,
+            Frame::CloseRound { .. } => 3,
+            Frame::Ack { .. } => 4,
+            Frame::Err { .. } => 5,
+            Frame::StatsRequest { .. } => 6,
+        }
+    }
+
+    /// This frame's kind as a short display name (a `tag` label value).
+    pub fn kind_name(&self) -> &'static str {
+        FRAME_KIND_NAMES[self.kind_index()]
     }
 
     /// Encode into the versioned payload bytes (no frame envelope).
@@ -429,6 +560,11 @@ impl Frame {
                 put_u64(&mut out, *session);
                 put_u64(&mut out, *round);
             }
+            Frame::StatsRequest { corr, scope } => {
+                out.push(TAG_STATS);
+                put_u64(&mut out, *corr);
+                put_opt_str(&mut out, scope.as_deref());
+            }
             Frame::Ack { corr, body } => {
                 out.push(TAG_ACK);
                 put_u64(&mut out, *corr);
@@ -456,6 +592,14 @@ impl Frame {
                     AckBody::Closed { estimate } => {
                         out.push(3);
                         put_estimate(&mut out, estimate);
+                    }
+                    AckBody::Stats { version, samples } => {
+                        out.push(4);
+                        out.push(*version);
+                        put_u32(&mut out, samples.len() as u32);
+                        for sample in samples {
+                            put_metric_sample(&mut out, sample);
+                        }
                     }
                 }
             }
@@ -569,6 +713,10 @@ impl Frame {
                     session: cur.u64()?,
                     round: cur.u64()?,
                 },
+                TAG_STATS => Frame::StatsRequest {
+                    corr,
+                    scope: take_opt_str(&mut cur)?,
+                },
                 TAG_ACK => {
                     let body = match cur.u8()? {
                         0 => AckBody::Session {
@@ -586,6 +734,18 @@ impl Frame {
                         3 => AckBody::Closed {
                             estimate: take_estimate(&mut cur)?,
                         },
+                        4 => {
+                            let version = cur.u8()?;
+                            let n = cur.u32()? as usize;
+                            if n > payload.len() {
+                                return Err(format!("sample count {n} exceeds payload"));
+                            }
+                            let mut samples = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                samples.push(take_metric_sample(&mut cur, payload.len())?);
+                            }
+                            AckBody::Stats { version, samples }
+                        }
                         tag => return Err(format!("unknown ack tag {tag}")),
                     };
                     Frame::Ack { corr, body }

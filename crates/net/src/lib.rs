@@ -78,6 +78,7 @@ pub mod codec;
 pub mod conn;
 pub mod error;
 pub mod frame;
+pub mod metrics;
 pub mod server;
 pub mod tenant;
 
@@ -85,9 +86,10 @@ pub use admission::{Admission, AdmissionSnapshot, InflightGuard, ShedReason};
 pub use backoff::{ClientStats, RetryPolicy};
 #[cfg(feature = "chaos")]
 pub use chaos::{ChaosConfig, ChaosSnapshot, FaultKind, FlakyTransport};
-pub use client::{ClientOptions, NetClient, DEFAULT_WINDOW};
+pub use client::{scrape_stats, ClientOptions, NetClient, DEFAULT_WINDOW};
 pub use codec::{decode_frame, encode_frame, FrameBuffer, MAX_FRAME_LEN};
 pub use error::{FrameError, NetError};
-pub use frame::{AckBody, Frame, WireError, WIRE_VERSION};
+pub use frame::{AckBody, Frame, WireError, STATS_VERSION, WIRE_VERSION};
+pub use metrics::{ClientMetrics, ServerMetrics};
 pub use server::{NetServer, ServerConfig};
 pub use tenant::{TenantHandle, TenantWork, Tenants};

@@ -15,6 +15,7 @@
 //! dispatchers drain and exit).
 
 use crate::conn;
+use crate::metrics::ServerMetrics;
 use crate::tenant::Tenants;
 use ldp_service::registry::TenantRegistry;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -58,6 +59,7 @@ pub struct NetServer {
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     tenants: Option<Arc<Tenants>>,
+    metrics: ServerMetrics,
 }
 
 impl NetServer {
@@ -74,6 +76,9 @@ impl NetServer {
         // flag promptly without a self-connect wake hack.
         listener.set_nonblocking(true)?;
         let tenants = Arc::new(Tenants::start(registry, config.queue_depth));
+        // The wire layer records into the same registry the tenant
+        // services do, so one scrape covers both.
+        let metrics = ServerMetrics::new(registry.metrics());
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -81,6 +86,7 @@ impl NetServer {
             let tenants = Arc::clone(&tenants);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("ldp-accept".into())
                 .spawn(move || loop {
@@ -91,9 +97,10 @@ impl NetServer {
                         Ok((stream, _peer)) => {
                             let tenants = Arc::clone(&tenants);
                             let stop = Arc::clone(&stop);
+                            let metrics = metrics.clone();
                             let handle = std::thread::Builder::new()
                                 .name("ldp-conn".into())
-                                .spawn(move || conn::serve(stream, tenants, config, stop))
+                                .spawn(move || conn::serve(stream, tenants, config, stop, metrics))
                                 .expect("spawn connection thread");
                             conns.lock().unwrap().push(handle);
                         }
@@ -112,12 +119,19 @@ impl NetServer {
             accept: Some(accept),
             conns,
             tenants: Some(tenants),
+            metrics,
         })
     }
 
     /// The bound address (resolves `:0` to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The wire-layer metric handles (recording into the tenant
+    /// registry's shared [`MetricsRegistry`](ldp_obs::MetricsRegistry)).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Admission counters (admits, sheds by cause, auth failures) of

@@ -15,13 +15,15 @@
 //! pipeline without a reorder buffer.
 
 use crate::admission::{Admission, AdmissionSnapshot, InflightGuard};
-use crate::frame::{AckBody, Frame, WireError};
+use crate::frame::{AckBody, Frame, WireError, FRAME_KIND_NAMES};
+use ldp_obs::Histogram;
 use ldp_service::registry::TenantRegistry;
 use ldp_service::{IngestService, SessionId};
 use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One decoded request frame plus the reply lane of the connection it
 /// arrived on.
@@ -65,7 +67,16 @@ impl Tenants {
         for id in registry.tenant_ids() {
             let service = registry.lookup(&id).expect("snapshotted id resolves");
             let limits = registry.limits(&id).expect("snapshotted id resolves");
-            let admission = Arc::new(Admission::new(limits));
+            let scope = registry.tenant_scope(&id);
+            let admission = Arc::new(Admission::with_obs(limits, &scope));
+            // One latency histogram per request kind, pre-resolved so
+            // the dispatch loop records without touching the registry.
+            let rpc_ns: [Arc<Histogram>; FRAME_KIND_NAMES.len()] = FRAME_KIND_NAMES.map(|op| {
+                scope.with(&[("op", op)]).histogram(
+                    "ldp_net_rpc_ns",
+                    "Dispatcher service time per request, in nanoseconds.",
+                )
+            });
             let (tx, rx) = sync_channel::<TenantWork>(queue_depth);
             let name = format!("tenant-{id}");
             let handle = std::thread::Builder::new()
@@ -74,7 +85,10 @@ impl Tenants {
                     // Drains until every connection's sender is dropped
                     // (server shutdown), then exits — graceful drain.
                     while let Ok(work) = rx.recv() {
+                        let op = work.frame.kind_index();
+                        let start = Instant::now();
                         let reply = dispatch(&service, work.frame);
+                        rpc_ns[op].record_duration(start.elapsed());
                         let _ = work.reply.send(reply);
                         // `work.inflight` drops here, releasing the
                         // tenant's in-flight slot only after the reply
@@ -191,6 +205,11 @@ fn execute(service: &Arc<IngestService>, frame: Frame) -> Result<AckBody, WireEr
                 .map_err(|e| WireError::from(&e))?;
             Ok(AckBody::Closed { estimate })
         }
+        // Stats requests are answered by the connection reader (they
+        // need the whole-registry view, not one tenant's service).
+        Frame::StatsRequest { .. } => Err(WireError::Protocol {
+            detail: "stats requests are served at the connection layer".into(),
+        }),
         Frame::Ack { .. } | Frame::Err { .. } => Err(WireError::Protocol {
             detail: "server-only frame sent to server".into(),
         }),

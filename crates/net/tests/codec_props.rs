@@ -11,6 +11,7 @@ use ldp_net::{
     decode_frame, encode_frame, AckBody, Frame, FrameBuffer, FrameError, WireError, MAX_FRAME_LEN,
     WIRE_VERSION,
 };
+use ldp_obs::{HistogramSnapshot, MetricSample, MetricValue};
 use ldp_service::codec::crc32;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -103,6 +104,40 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
     ]
 }
 
+fn arb_metric_value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        any::<u64>().prop_map(MetricValue::Counter),
+        any::<i64>().prop_map(MetricValue::Gauge),
+        (
+            vec(any::<u64>(), 0..8),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(buckets, count, sum, max)| MetricValue::Histogram(
+                HistogramSnapshot {
+                    buckets,
+                    count,
+                    sum,
+                    max,
+                }
+            )),
+    ]
+}
+
+fn arb_metric_sample() -> impl Strategy<Value = MetricSample> {
+    (
+        arb_tenant(),
+        vec((arb_tenant(), arb_tenant()), 0..3),
+        arb_metric_value(),
+    )
+        .prop_map(|(name, labels, value)| MetricSample {
+            name,
+            labels,
+            value,
+        })
+}
+
 fn arb_ack_body() -> impl Strategy<Value = AckBody> {
     prop_oneof![
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
@@ -116,6 +151,8 @@ fn arb_ack_body() -> impl Strategy<Value = AckBody> {
         arb_request().prop_map(|request| AckBody::Opened { request }),
         any::<u64>().prop_map(|next_seq| AckBody::Submitted { next_seq }),
         arb_estimate().prop_map(|estimate| AckBody::Closed { estimate }),
+        (any::<u8>(), vec(arb_metric_sample(), 0..6))
+            .prop_map(|(version, samples)| { AckBody::Stats { version, samples } }),
     ]
 }
 
@@ -166,6 +203,12 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         }),
         (any::<u64>(), arb_ack_body()).prop_map(|(corr, body)| Frame::Ack { corr, body }),
         (any::<u64>(), arb_wire_error()).prop_map(|(corr, error)| Frame::Err { corr, error }),
+        (any::<u64>(), any::<bool>(), arb_tenant()).prop_map(|(corr, scoped, tenant)| {
+            Frame::StatsRequest {
+                corr,
+                scope: scoped.then_some(tenant),
+            }
+        }),
     ]
 }
 

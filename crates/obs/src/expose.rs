@@ -1,0 +1,242 @@
+//! Prometheus-style text exposition and the plaintext TCP exporter.
+//!
+//! Histograms are rendered as summaries (`quantile="0.5|0.95|0.99|1"`
+//! series plus `_sum`/`_count`) because log2 buckets carry their
+//! quantiles precomputed and summaries keep the body compact.
+//!
+//! The [`MetricsExporter`] speaks just enough protocol for both
+//! `curl http://host:port/metrics` and raw `nc host port`: if the
+//! peer's first bytes look like an HTTP request it prefixes a minimal
+//! `200 OK` header, otherwise it writes the bare body.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{MetricKind, MetricSample, MetricValue, MetricsRegistry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Escape a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render `{k="v",...}` (empty string when no labels), with an optional
+/// extra `quantile` pair appended.
+fn label_block(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        pairs.push(format!("quantile=\"{q}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_histogram(out: &mut String, sample: &MetricSample, snap: &HistogramSnapshot) {
+    for (q, v) in [
+        ("0.5", snap.p50()),
+        ("0.95", snap.p95()),
+        ("0.99", snap.p99()),
+        ("1", snap.max),
+    ] {
+        out.push_str(&format!(
+            "{}{} {v}\n",
+            sample.name,
+            label_block(&sample.labels, Some(q))
+        ));
+    }
+    let labels = label_block(&sample.labels, None);
+    out.push_str(&format!("{}_sum{labels} {}\n", sample.name, snap.sum));
+    out.push_str(&format!("{}_count{labels} {}\n", sample.name, snap.count));
+}
+
+impl MetricsRegistry {
+    /// Render every registered metric as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        let meta = self.meta();
+        let samples = self.snapshot();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for sample in &samples {
+            if last_name != Some(sample.name.as_str()) {
+                if let Some((kind, help)) = meta.get(&sample.name) {
+                    let kind = match kind {
+                        MetricKind::Counter => "counter",
+                        MetricKind::Gauge => "gauge",
+                        MetricKind::Histogram => "summary",
+                    };
+                    out.push_str(&format!("# HELP {} {}\n", sample.name, help));
+                    out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+                }
+                last_name = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                MetricValue::Counter(v) => out.push_str(&format!(
+                    "{}{} {v}\n",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                )),
+                MetricValue::Gauge(v) => out.push_str(&format!(
+                    "{}{} {v}\n",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                )),
+                MetricValue::Histogram(snap) => render_histogram(&mut out, sample, snap),
+            }
+        }
+        out
+    }
+}
+
+/// A background TCP endpoint serving the registry's text exposition.
+///
+/// One connection at a time, one response per connection — scrape
+/// traffic, not serving traffic. Dropped or shut down, the listener
+/// thread exits within its poll interval.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `registry` until
+    /// dropped.
+    pub fn start(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsExporter> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ldp-metrics".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Scrape endpoints must never take the
+                            // server down with them.
+                            let _ = serve_one(stream, &registry);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+            .expect("spawn metrics exporter");
+        Ok(MetricsExporter {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Answer one scrape connection: sniff for HTTP, write the body, close.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut probe = [0u8; 512];
+    // Raw TCP scrapers may send nothing at all; a read error or zero
+    // bytes still gets the body.
+    let n = stream.read(&mut probe).unwrap_or(0);
+    let is_http = probe[..n].starts_with(b"GET") || probe[..n].starts_with(b"HEAD");
+    let body = registry.render_prometheus();
+    if is_http {
+        let header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+    }
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_registry() -> Arc<MetricsRegistry> {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("ldp_hits_total", &[("tenant", "acme")], "total hits")
+            .add(7);
+        reg.gauge("ldp_depth", &[], "queue depth").set(3);
+        let h = reg.histogram("ldp_lat_ns", &[("op", "submit")], "latency");
+        h.record(100);
+        h.record(5000);
+        reg
+    }
+
+    #[test]
+    fn exposition_has_help_type_and_series() {
+        let body = seeded_registry().render_prometheus();
+        assert!(body.contains("# HELP ldp_hits_total total hits\n"));
+        assert!(body.contains("# TYPE ldp_hits_total counter\n"));
+        assert!(body.contains("ldp_hits_total{tenant=\"acme\"} 7\n"));
+        assert!(body.contains("# TYPE ldp_depth gauge\n"));
+        assert!(body.contains("ldp_depth 3\n"));
+        assert!(body.contains("# TYPE ldp_lat_ns summary\n"));
+        assert!(body.contains("ldp_lat_ns{op=\"submit\",quantile=\"1\"} 5000\n"));
+        assert!(body.contains("ldp_lat_ns_sum{op=\"submit\"} 5100\n"));
+        assert!(body.contains("ldp_lat_ns_count{op=\"submit\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("n", &[("path", "a\"b\\c\nd")], "n").inc();
+        let body = reg.render_prometheus();
+        assert!(body.contains("n{path=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn exporter_serves_http_and_raw() {
+        let reg = seeded_registry();
+        let exporter = MetricsExporter::start("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = exporter.addr();
+
+        // HTTP-style scrape.
+        let mut http = TcpStream::connect(addr).unwrap();
+        http.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        http.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("ldp_hits_total{tenant=\"acme\"} 7"));
+
+        // Raw scrape: connect, send nothing, read body.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut body = String::new();
+        raw.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("# HELP"), "{body}");
+        assert!(body.contains("ldp_depth 3"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Lock-free metric primitives: counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! All recording paths are single atomic RMW operations with relaxed
+//! ordering — metrics are monitoring signals, not synchronization
+//! edges. Readers observe values that are individually exact but only
+//! loosely consistent with each other, which is the standard contract
+//! for scrape-style monitoring.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets: one for the value `0` plus one per
+/// power-of-two magnitude of a `u64` (`2^0..=2^63`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+///
+/// Counters never decrease; derived rates stay meaningful for scrapers
+/// that compute deltas between snapshots.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// A fresh shared counter at zero.
+    pub fn arc() -> Arc<Counter> {
+        Arc::new(Counter::new())
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// A fresh shared gauge at zero.
+    pub fn arc() -> Arc<Gauge> {
+        Arc::new(Gauge::new())
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta`, returning the updated value.
+    ///
+    /// The returned post-update level lets a gauge double as a quota
+    /// counter (admit if the incremented level is within bound, undo
+    /// otherwise) so there is one counting path for enforcement and
+    /// export.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Increment by one, returning the updated value.
+    #[inline]
+    pub fn inc(&self) -> i64 {
+        self.add(1)
+    }
+
+    /// Decrement by one, returning the updated value.
+    #[inline]
+    pub fn dec(&self) -> i64 {
+        self.add(-1)
+    }
+
+    /// The current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket index of `v`: bucket 0 holds exactly `0`, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i - 1]`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The largest value bucket `i` can hold (`0` for bucket 0,
+/// `2^i - 1` otherwise, saturating at `u64::MAX`).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A lock-free log2-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, batch sizes, wait hints).
+///
+/// Recording is four relaxed atomic adds (bucket, count, sum) plus one
+/// `fetch_max`; no locks, no allocation. Quantile readout walks the 65
+/// buckets of a [`HistogramSnapshot`]: the reported quantile is the
+/// upper bound of the bucket holding the rank-th sample, clamped to the
+/// exact observed maximum — always within one log2 bucket boundary of
+/// the true quantile, and exact for `max`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh shared empty histogram.
+    pub fn arc() -> Arc<Histogram> {
+        Arc::new(Histogram::new())
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at
+    /// `u64::MAX`, ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`], suitable for
+/// serialization, merging, and quantile readout.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow, like the counters).
+    pub sum: u64,
+    /// Exact maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket holding the rank-`⌈q·count⌉` sample, clamped to the exact
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`HistogramSnapshot::quantile`]).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`HistogramSnapshot::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (bucket-wise add, max of
+    /// maxes). Snapshots with mismatched bucket vectors extend to the
+    /// longer of the two.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.add(4), 5);
+        assert_eq!(g.dec(), 4);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..=63usize {
+            assert_eq!(bucket_index(1u64 << (i - 1)), i, "lower edge of {i}");
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper edge of {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_and_max_is_exact() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        assert_eq!(snap.quantile(1.0), 100, "max quantile is exact");
+        // True p50 is 50 (bucket [32,63]); readout is the bucket upper.
+        assert_eq!(snap.p50(), 63);
+        // True p99 is 99 (bucket [64,127]); clamped to observed max.
+        assert_eq!(snap.p99(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.max, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        b.record(3);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 1013);
+        assert_eq!(m.max, 1000);
+        assert_eq!(m.quantile(1.0), 1000);
+    }
+}

@@ -1,0 +1,345 @@
+//! The [`MetricsRegistry`]: get-or-create metric handles under static
+//! label sets, snapshot them as typed samples.
+//!
+//! The registry mutex guards only creation and snapshotting; the
+//! returned `Arc` handles record lock-free. Requesting the same
+//! `(name, labels)` twice returns the *same* underlying metric, so
+//! independent components (or repeated constructions) share one
+//! counting path.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic event count.
+    Counter,
+    /// Signed instantaneous level.
+    Gauge,
+    /// Log2-bucketed sample distribution.
+    Histogram,
+}
+
+/// One metric's current value, as captured by a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram contents.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, labels, value)` triple from a registry snapshot.
+///
+/// This is the unit of the wire stats protocol: servers serialize a
+/// `Vec<MetricSample>` and clients render or aggregate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (`ldp_*`).
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    fn value(&self) -> MetricValue {
+        match self {
+            Handle::Counter(c) => MetricValue::Counter(c.get()),
+            Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+            Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `(name, sorted labels) → handle`. BTreeMap keeps snapshots and
+    /// exposition deterministically ordered.
+    metrics: BTreeMap<(String, Vec<(String, String)>), Handle>,
+    /// `name → (kind, help)`, recorded at first registration.
+    meta: BTreeMap<String, (MetricKind, &'static str)>,
+}
+
+/// A set of named metrics under static label sets.
+///
+/// Cheap to share (`Arc<MetricsRegistry>`); handle creation takes the
+/// registry mutex once, after which recording is lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+fn canonical(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+impl MetricsRegistry {
+    /// A fresh empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn get_or_create(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+        want: MetricKind,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let labels = canonical(labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let handle = inner
+            .metrics
+            .entry((name.to_string(), labels))
+            .or_insert_with(make)
+            .clone();
+        assert!(
+            handle.kind() == want,
+            "metric `{name}` registered as {:?} and requested as {want:?}",
+            handle.kind(),
+        );
+        inner.meta.entry(name.to_string()).or_insert((want, help));
+        handle
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Arc<Counter> {
+        match self.get_or_create(name, labels, help, MetricKind::Counter, || {
+            Handle::Counter(Counter::arc())
+        }) {
+            Handle::Counter(c) => c,
+            other => unreachable!("kind checked in get_or_create: {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &'static str) -> Arc<Gauge> {
+        match self.get_or_create(name, labels, help, MetricKind::Gauge, || {
+            Handle::Gauge(Gauge::arc())
+        }) {
+            Handle::Gauge(g) => g,
+            other => unreachable!("kind checked in get_or_create: {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different kind.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+    ) -> Arc<Histogram> {
+        match self.get_or_create(name, labels, help, MetricKind::Histogram, || {
+            Handle::Histogram(Histogram::arc())
+        }) {
+            Handle::Histogram(h) => h,
+            other => unreachable!("kind checked in get_or_create: {other:?}"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, ordered by
+    /// `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .metrics
+            .iter()
+            .map(|((name, labels), handle)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: handle.value(),
+            })
+            .collect()
+    }
+
+    /// `name → (kind, help)` for every registered metric name.
+    pub fn meta(&self) -> BTreeMap<String, (MetricKind, &'static str)> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .meta
+            .clone()
+    }
+}
+
+/// A registry handle plus a fixed label prefix, threaded through
+/// component constructors so every metric they create carries the
+/// component's identity (e.g. `tenant="acme"`).
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: Arc<MetricsRegistry>,
+    labels: Vec<(String, String)>,
+}
+
+impl Scope {
+    /// A scope over `registry` with the given base labels.
+    pub fn new(registry: Arc<MetricsRegistry>, labels: &[(&str, &str)]) -> Scope {
+        Scope {
+            registry,
+            labels: canonical(labels),
+        }
+    }
+
+    /// A scope over a fresh private registry with no labels — for
+    /// components constructed without explicit observability, so
+    /// instrumentation code never needs an `Option`.
+    pub fn standalone() -> Scope {
+        Scope::new(Arc::new(MetricsRegistry::new()), &[])
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A child scope with `extra` labels appended (extra keys win on
+    /// collision is *not* supported — duplicate keys keep the first,
+    /// i.e. the parent's, value).
+    pub fn with(&self, extra: &[(&str, &str)]) -> Scope {
+        let mut labels = self.labels.clone();
+        for (k, v) in extra {
+            if !labels.iter().any(|(mine, _)| mine == k) {
+                labels.push((k.to_string(), v.to_string()));
+            }
+        }
+        labels.sort();
+        Scope {
+            registry: Arc::clone(&self.registry),
+            labels,
+        }
+    }
+
+    fn borrowed(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+
+    /// Get or create a counter under this scope's labels.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.registry.counter(name, &self.borrowed(), help)
+    }
+
+    /// Get or create a gauge under this scope's labels.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        self.registry.gauge(name, &self.borrowed(), help)
+    }
+
+    /// Get or create a histogram under this scope's labels.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        self.registry.histogram(name, &self.borrowed(), help)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_metric() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits", &[("tenant", "acme")], "hits");
+        let b = reg.counter("hits", &[("tenant", "acme")], "hits");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits", &[("b", "2"), ("a", "1")], "hits");
+        let b = reg.counter("hits", &[("a", "1"), ("b", "2")], "hits");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits", &[("tenant", "a")], "hits");
+        let b = reg.counter("hits", &[("tenant", "b")], "hits");
+        a.inc();
+        assert_eq!(b.get(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].label("tenant"), Some("a"));
+        assert_eq!(snap[0].value, MetricValue::Counter(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x", &[], "x");
+        let _ = reg.gauge("x", &[], "x");
+    }
+
+    #[test]
+    fn scope_applies_labels_and_extends() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let scope = Scope::new(Arc::clone(&reg), &[("tenant", "acme")]);
+        let shard = scope.with(&[("shard", "0")]);
+        shard.gauge("depth", "queue depth").set(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].label("tenant"), Some("acme"));
+        assert_eq!(snap[0].label("shard"), Some("0"));
+        assert_eq!(snap[0].value, MetricValue::Gauge(4));
+    }
+
+    #[test]
+    fn standalone_scope_is_private() {
+        let a = Scope::standalone();
+        let b = Scope::standalone();
+        a.counter("n", "n").inc();
+        assert_eq!(b.counter("n", "n").get(), 0);
+    }
+}

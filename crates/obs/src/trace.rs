@@ -1,0 +1,221 @@
+//! Structured event tracing: a process-global ring buffer of
+//! timestamped events and spans, compiled away without the `trace`
+//! feature.
+//!
+//! Timestamps are nanoseconds on a process-local monotonic clock (first
+//! trace call = 0); they order events within one process and measure
+//! span durations, nothing more. The ring holds the most recent
+//! [`capacity`] events; older ones are silently dropped — tracing is a
+//! flight recorder, not an audit log.
+//!
+//! With the feature off, [`event`] and [`span`] are inlined empty
+//! functions and detail closures are never invoked, so instrumented hot
+//! paths cost nothing.
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process's first trace call (monotonic).
+    pub ts_ns: u64,
+    /// Static event name (`service.round_open`, `net.conn_accept`, …).
+    pub name: &'static str,
+    /// Span duration in nanoseconds; `None` for point events.
+    pub dur_ns: Option<u64>,
+    /// Free-form detail, formatted lazily at record time.
+    pub detail: String,
+}
+
+/// Default ring capacity (most recent events kept).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{TraceEvent, DEFAULT_CAPACITY};
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    struct Ring {
+        events: VecDeque<TraceEvent>,
+        capacity: usize,
+    }
+
+    fn ring() -> &'static Mutex<Ring> {
+        static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+        RING.get_or_init(|| {
+            Mutex::new(Ring {
+                events: VecDeque::with_capacity(DEFAULT_CAPACITY),
+                capacity: DEFAULT_CAPACITY,
+            })
+        })
+    }
+
+    pub fn now_ns() -> u64 {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub fn push(ev: TraceEvent) {
+        let mut ring = ring().lock().expect("trace ring poisoned");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(ev);
+    }
+
+    pub fn drain() -> Vec<TraceEvent> {
+        ring()
+            .lock()
+            .expect("trace ring poisoned")
+            .events
+            .drain(..)
+            .collect()
+    }
+
+    pub fn set_capacity(capacity: usize) {
+        let mut ring = ring().lock().expect("trace ring poisoned");
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+        }
+    }
+}
+
+/// Whether tracing is compiled in.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Record a point event. `detail` is only invoked when tracing is
+/// compiled in.
+#[inline]
+pub fn event<F: FnOnce() -> String>(name: &'static str, detail: F) {
+    #[cfg(feature = "trace")]
+    imp::push(TraceEvent {
+        ts_ns: imp::now_ns(),
+        name,
+        dur_ns: None,
+        detail: detail(),
+    });
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, detail);
+    }
+}
+
+/// Start a span; its duration is recorded when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "trace")]
+    {
+        Span {
+            name,
+            start_ns: imp::now_ns(),
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Span { name }
+    }
+}
+
+/// Guard returned by [`span`]; records `name` with `dur_ns` on drop.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    #[cfg(feature = "trace")]
+    start_ns: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            let end = imp::now_ns();
+            imp::push(TraceEvent {
+                ts_ns: self.start_ns,
+                name: self.name,
+                dur_ns: Some(end.saturating_sub(self.start_ns)),
+                detail: String::new(),
+            });
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = self.name;
+        }
+    }
+}
+
+/// Take every buffered event, oldest first (empty without the `trace`
+/// feature).
+pub fn drain() -> Vec<TraceEvent> {
+    #[cfg(feature = "trace")]
+    {
+        imp::drain()
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Resize the ring (no-op without the `trace` feature). Shrinking drops
+/// the oldest events.
+pub fn set_capacity(capacity: usize) {
+    #[cfg(feature = "trace")]
+    imp::set_capacity(capacity);
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = capacity;
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    // The ring is process-global, so exercise everything in one test to
+    // avoid cross-test interference.
+    #[test]
+    fn events_spans_and_capacity() {
+        drain();
+        event("test.point", || "k=v".into());
+        {
+            let _span = span("test.span");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "test.point");
+        assert_eq!(events[0].detail, "k=v");
+        assert_eq!(events[0].dur_ns, None);
+        assert_eq!(events[1].name, "test.span");
+        assert!(events[1].dur_ns.unwrap() >= 1_000_000);
+        assert!(events[1].ts_ns >= events[0].ts_ns, "monotonic order");
+
+        set_capacity(4);
+        for i in 0..10u32 {
+            event("test.ring", move || i.to_string());
+        }
+        let events = drain();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].detail, "6", "oldest events dropped");
+        set_capacity(DEFAULT_CAPACITY);
+    }
+}
+
+#[cfg(all(test, not(feature = "trace")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracing_is_inert_and_lazy() {
+        assert!(!enabled());
+        event("x", || {
+            panic!("detail must not be evaluated when tracing is off")
+        });
+        let _span = span("y");
+        assert!(drain().is_empty());
+    }
+}

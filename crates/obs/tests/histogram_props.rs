@@ -1,0 +1,97 @@
+//! Property tests for the log2 histogram (ISSUE 10 satellite):
+//! bucketing correctness, quantile accuracy to one bucket boundary, and
+//! lossless concurrent recording.
+
+use ldp_obs::metrics::HISTOGRAM_BUCKETS;
+use ldp_obs::{bucket_index, bucket_upper, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// Fail loudly if the bucket layout ever changes without updating the
+// tests below.
+const _: [(); 65] = [(); HISTOGRAM_BUCKETS];
+
+proptest! {
+    /// Every recorded value lands in exactly its log2 bucket: the
+    /// bucket's range contains the value and no other bucket counts it.
+    #[test]
+    fn values_land_in_the_correct_bucket(v in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(v);
+        let snap = h.snapshot();
+        let idx = bucket_index(v);
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            prop_assert_eq!(n, u64::from(i == idx), "bucket {} for value {}", i, v);
+        }
+        // The bucket really covers the value.
+        let lower = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
+        prop_assert!(lower <= v && v <= bucket_upper(idx));
+    }
+
+    /// Quantile readout is within one bucket boundary of the true
+    /// quantile: it is at least the true order statistic and at most
+    /// the upper bound of the bucket that holds it (clamped to max).
+    #[test]
+    fn quantile_is_within_one_bucket_of_truth(
+        raw in vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &raw {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut values = raw;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let got = snap.quantile(q);
+        prop_assert!(got >= truth, "readout {} below true quantile {}", got, truth);
+        prop_assert!(
+            got <= bucket_upper(bucket_index(truth)),
+            "readout {} beyond the bucket of true quantile {}",
+            got,
+            truth
+        );
+        prop_assert!(got <= snap.max);
+        prop_assert_eq!(snap.quantile(1.0), *values.last().unwrap(), "max is exact");
+    }
+}
+
+/// Concurrent recording from 8 threads loses no samples: count, sum,
+/// max, and every bucket total match the sequential expectation.
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix magnitudes so many buckets are contended.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let expected = Histogram::new();
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            expected.record((t * PER_THREAD + i) % 4096);
+        }
+    }
+    let got = h.snapshot();
+    let want = expected.snapshot();
+    assert_eq!(got.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(got.count, want.count);
+    assert_eq!(got.sum, want.sum);
+    assert_eq!(got.max, want.max);
+    assert_eq!(got.buckets, want.buckets, "per-bucket totals must match");
+}

@@ -74,6 +74,7 @@
 pub mod batch;
 pub mod codec;
 pub mod faults;
+pub mod obs;
 pub mod parallel;
 pub mod pool;
 pub mod recovery;
@@ -83,6 +84,7 @@ pub mod shard;
 pub mod wal;
 
 pub use batch::{Batch, ColumnarBatch, RoundKey, ServiceConfig};
+pub use obs::{ServiceMetrics, WalObs};
 pub use parallel::{ParallelCollector, ServiceSink};
 pub use pool::WorkerPool;
 pub use recovery::RecoveryReport;

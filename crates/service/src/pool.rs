@@ -17,8 +17,10 @@
 
 use crate::batch::{Batch, RoundKey};
 use crate::shard::{ShardArena, ShardTally};
+use ldp_obs::Gauge;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum WorkerMsg {
@@ -55,22 +57,37 @@ pub struct WorkerPool {
     senders: Vec<mpsc::SyncSender<WorkerMsg>>,
     handles: Vec<JoinHandle<()>>,
     cursor: AtomicUsize,
+    depth: Vec<Arc<Gauge>>,
 }
 
 impl WorkerPool {
     /// Spawn `threads` workers with inboxes bounded at `queue_depth`
-    /// batches each.
+    /// batches each. Queue depths go to private, unregistered gauges;
+    /// see [`WorkerPool::new_observed`].
     pub fn new(threads: usize, queue_depth: usize) -> Self {
+        WorkerPool::new_observed(threads, queue_depth, Vec::new())
+    }
+
+    /// [`WorkerPool::new`] publishing per-shard queue depth into
+    /// `depth` (one gauge per worker; missing entries get private
+    /// gauges, extras are ignored).
+    pub fn new_observed(threads: usize, queue_depth: usize, depth: Vec<Arc<Gauge>>) -> Self {
         let threads = threads.max(1);
+        let mut depth = depth;
+        depth.truncate(threads);
+        while depth.len() < threads {
+            depth.push(Gauge::arc());
+        }
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
+        for (worker, gauge) in depth.iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(queue_depth.max(1));
+            let gauge = Arc::clone(gauge);
             senders.push(tx);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ldp-shard-{worker}"))
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(rx, gauge))
                     .expect("spawn shard worker"),
             );
         }
@@ -78,6 +95,7 @@ impl WorkerPool {
             senders,
             handles,
             cursor: AtomicUsize::new(0),
+            depth,
         }
     }
 
@@ -90,6 +108,9 @@ impl WorkerPool {
     /// worker's inbox is full.
     pub fn dispatch(&self, batch: Batch) {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        // Counted before the (possibly blocking) send so a full inbox
+        // shows up as depth > queue_depth while the producer waits.
+        self.depth[i].inc();
         self.senders[i]
             .send(WorkerMsg::Ingest(batch))
             .expect("shard worker alive");
@@ -167,11 +188,14 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: mpsc::Receiver<WorkerMsg>) {
+fn worker_loop(rx: mpsc::Receiver<WorkerMsg>, depth: Arc<Gauge>) {
     let mut arena = ShardArena::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Ingest(batch) => arena.ingest(batch),
+            WorkerMsg::Ingest(batch) => {
+                arena.ingest(batch);
+                depth.dec();
+            }
             WorkerMsg::Close {
                 key,
                 domain_size,

@@ -14,8 +14,10 @@
 //! double as directory names without escaping.
 
 use crate::batch::ServiceConfig;
+use crate::obs::ServiceMetrics;
 use crate::session::IngestService;
 use ldp_ids::CoreError;
+use ldp_obs::{MetricsRegistry, Scope};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
@@ -129,9 +131,24 @@ impl TenantSpec {
 /// Internally synchronized; share it behind an `Arc`. Lookups take a
 /// read lock only, so concurrent connections resolve tenants without
 /// contending with each other.
-#[derive(Debug, Default)]
+///
+/// Every registry owns one shared [`MetricsRegistry`]; each tenant's
+/// service records under a `tenant="<id>"` label in it, so one scrape
+/// (or one [`metrics`](TenantRegistry::metrics) call) covers the whole
+/// host.
+#[derive(Debug)]
 pub struct TenantRegistry {
     tenants: RwLock<HashMap<String, TenantEntry>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        TenantRegistry {
+            tenants: RwLock::new(HashMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -154,9 +171,10 @@ impl TenantRegistry {
         validate_tenant_id(&spec.id)?;
         // Build the service outside the write lock (durable opens do
         // recovery I/O), but re-check for a racing duplicate under it.
+        let metrics = ServiceMetrics::in_scope(&self.tenant_scope(&spec.id));
         let service = Arc::new(match &spec.dir {
-            Some(dir) => IngestService::open(spec.config, dir)?,
-            None => IngestService::new(spec.config),
+            Some(dir) => IngestService::open_observed(spec.config, dir, metrics)?,
+            None => IngestService::new_observed(spec.config, metrics),
         });
         let mut tenants = self.tenants.write().unwrap();
         if tenants.contains_key(&spec.id) {
@@ -196,6 +214,18 @@ impl TenantRegistry {
             .ok_or_else(|| CoreError::UnknownTenant {
                 tenant: tenant.into(),
             })
+    }
+
+    /// The shared metrics registry all tenant services (and the network
+    /// frontend) record into.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A metrics scope labelled `tenant="<id>"` over the shared
+    /// registry.
+    pub fn tenant_scope(&self, tenant: &str) -> Scope {
+        Scope::new(Arc::clone(&self.metrics), &[("tenant", tenant)])
     }
 
     /// Registered tenant ids, sorted.

@@ -53,6 +53,7 @@
 
 use crate::batch::{Batch, RoundKey, ServiceConfig};
 use crate::faults;
+use crate::obs::ServiceMetrics;
 use crate::pool::WorkerPool;
 use crate::recovery::{self, OpenSnapshot, RecoveryReport, SessionSnapshot, SnapshotState};
 use crate::wal::{Commit, Wal, WalRecord, WalStats};
@@ -63,6 +64,7 @@ use ldp_ids::CoreError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Identifies one ingest session (one logical stream/query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +151,7 @@ pub struct IngestService {
     config: ServiceConfig,
     state: Mutex<ServiceState>,
     recovery: Option<RecoveryReport>,
+    metrics: ServiceMetrics,
 }
 
 fn unknown(session: SessionId) -> CoreError {
@@ -165,10 +168,21 @@ fn io_err(op: &str, path: &Path, e: &std::io::Error) -> CoreError {
 
 impl IngestService {
     /// An in-memory service sized by `config` (no durability: state dies
-    /// with the process).
+    /// with the process). Metrics go to a private standalone registry;
+    /// see [`IngestService::new_observed`].
     pub fn new(config: ServiceConfig) -> Self {
+        IngestService::new_observed(config, ServiceMetrics::standalone())
+    }
+
+    /// [`IngestService::new`] recording into `metrics` (typically scoped
+    /// to a shared registry with a `tenant` label).
+    pub fn new_observed(config: ServiceConfig, metrics: ServiceMetrics) -> Self {
         IngestService {
-            pool: WorkerPool::new(config.threads, config.queue_depth),
+            pool: WorkerPool::new_observed(
+                config.threads,
+                config.queue_depth,
+                metrics.shard_depth_gauges(config.threads.max(1)),
+            ),
             config,
             state: Mutex::new(ServiceState {
                 sessions: HashMap::new(),
@@ -176,6 +190,7 @@ impl IngestService {
                 durable: None,
             }),
             recovery: None,
+            metrics,
         }
     }
 
@@ -189,9 +204,29 @@ impl IngestService {
     /// What recovery found is available via
     /// [`recovery_report`](Self::recovery_report).
     pub fn open(config: ServiceConfig, dir: impl AsRef<Path>) -> Result<Self, CoreError> {
+        IngestService::open_observed(config, dir, ServiceMetrics::standalone())
+    }
+
+    /// [`IngestService::open`] recording into `metrics` (typically
+    /// scoped to a shared registry with a `tenant` label).
+    pub fn open_observed(
+        config: ServiceConfig,
+        dir: impl AsRef<Path>,
+        metrics: ServiceMetrics,
+    ) -> Result<Self, CoreError> {
+        let replay_start = Instant::now();
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, &e))?;
         let recovered = recovery::recover(&dir)?;
+        metrics.replay_ns.record_duration(replay_start.elapsed());
+        ldp_obs::trace::event("service.replay", || {
+            format!(
+                "dir={} sessions={} records={}",
+                dir.display(),
+                recovered.sessions.len(),
+                recovered.report.wal_records_replayed
+            )
+        });
 
         // Rotate immediately: write the recovered state as generation
         // g+1 and start its empty WAL, so the old generation (and any
@@ -218,10 +253,18 @@ impl IngestService {
                 .collect(),
         };
         recovery::write_snapshot(&dir, next_gen, &snapshot)?;
-        let wal = Wal::create(&recovery::wal_path(&dir, next_gen), config.sync)?;
+        let wal = Wal::create_observed(
+            &recovery::wal_path(&dir, next_gen),
+            config.sync,
+            metrics.wal.clone(),
+        )?;
         recovery::remove_stale(&dir, next_gen);
 
-        let pool = WorkerPool::new(config.threads, config.queue_depth);
+        let pool = WorkerPool::new_observed(
+            config.threads,
+            config.queue_depth,
+            metrics.shard_depth_gauges(config.threads.max(1)),
+        );
         let mut sessions = HashMap::new();
         for rs in recovered.sessions {
             let id = SessionId(rs.id);
@@ -264,7 +307,13 @@ impl IngestService {
                 }),
             }),
             recovery: Some(recovered.report),
+            metrics,
         })
+    }
+
+    /// The metric handles this service records into.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// The sizing this service runs with.
@@ -385,6 +434,10 @@ impl IngestService {
             oracle,
             pending: Vec::with_capacity(self.config.batch_size),
         });
+        self.metrics.rounds_opened.inc();
+        ldp_obs::trace::event("service.round_open", || {
+            format!("session={} round={}", session.raw(), request.round)
+        });
         self.maybe_snapshot(st)?;
         drop(guard);
         commit.wait()?;
@@ -425,6 +478,7 @@ impl IngestService {
             None
         };
         s.next_seq += 1;
+        self.metrics.reports.inc();
         open.pending.push(response);
         if open.pending.len() >= self.config.batch_size {
             let batch = Batch::encode(
@@ -521,6 +575,7 @@ impl IngestService {
                 });
             }
         }
+        self.metrics.reports.add(responses.len() as u64);
         let commit = if let Some(d) = st.durable.as_mut() {
             // Move the responses through the record and back: one WAL
             // frame for the whole delta, no clone of the payload.
@@ -680,6 +735,15 @@ impl IngestService {
             s.refusals += tally.refusals;
             s.epsilon_spent += open.request.epsilon;
             s.last_closed = Some((key.round, estimate.clone()));
+            self.metrics.rounds_closed.inc();
+            ldp_obs::trace::event("service.round_close", || {
+                format!(
+                    "session={} round={} reporters={}",
+                    session.raw(),
+                    key.round,
+                    estimate.reporters
+                )
+            });
             faults::hit("service.after_close");
             self.maybe_snapshot(st)?;
             drop(guard);
@@ -710,6 +774,15 @@ impl IngestService {
             s.epsilon_spent += epsilon;
             s.last_closed = Some((key.round, estimate.clone()));
         }
+        self.metrics.rounds_closed.inc();
+        ldp_obs::trace::event("service.round_close", || {
+            format!(
+                "session={} round={} reporters={}",
+                session.raw(),
+                key.round,
+                estimate.reporters
+            )
+        });
         Ok(estimate)
     }
 
@@ -820,6 +893,7 @@ impl IngestService {
     /// exactly the WAL-covered batches), persist the snapshot atomically,
     /// start its empty WAL, and delete the old generation.
     fn snapshot_locked(&self, st: &mut ServiceState) -> Result<(), CoreError> {
+        let snapshot_start = Instant::now();
         let mut ids: Vec<SessionId> = st.sessions.keys().copied().collect();
         ids.sort_by_key(|s| s.raw());
         let mut keys = Vec::new();
@@ -863,10 +937,18 @@ impl IngestService {
         let d = st.durable.as_mut().expect("snapshot on a durable service");
         let next_gen = d.generation + 1;
         recovery::write_snapshot(&d.dir, next_gen, &snapshot)?;
-        d.wal = Wal::create(&recovery::wal_path(&d.dir, next_gen), self.config.sync)?;
+        d.wal = Wal::create_observed(
+            &recovery::wal_path(&d.dir, next_gen),
+            self.config.sync,
+            self.metrics.wal.clone(),
+        )?;
         d.generation = next_gen;
         d.records_since_snapshot = 0;
         recovery::remove_stale(&d.dir, next_gen);
+        self.metrics
+            .snapshot_ns
+            .record_duration(snapshot_start.elapsed());
+        ldp_obs::trace::event("service.snapshot", || format!("generation={next_gen}"));
         Ok(())
     }
 }

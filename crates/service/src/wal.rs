@@ -48,6 +48,7 @@ use crate::codec::{
     take_response, Cursor,
 };
 use crate::faults;
+use crate::obs::WalObs;
 use ldp_ids::collector::RoundEstimate;
 use ldp_ids::protocol::{ReportRequest, UserResponse};
 use ldp_ids::CoreError;
@@ -56,6 +57,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"LDPWAL01";
@@ -303,6 +305,7 @@ pub struct GroupCommit {
     state: Mutex<CommitState>,
     cond: Condvar,
     syncs: AtomicU64,
+    obs: WalObs,
 }
 
 #[derive(Debug, Default)]
@@ -319,13 +322,14 @@ struct CommitState {
 }
 
 impl GroupCommit {
-    fn new(file: File, path: PathBuf) -> Arc<Self> {
+    fn new(file: File, path: PathBuf, obs: WalObs) -> Arc<Self> {
         Arc::new(GroupCommit {
             file,
             path,
             state: Mutex::new(CommitState::default()),
             cond: Condvar::new(),
             syncs: AtomicU64::new(0),
+            obs,
         })
     }
 
@@ -358,8 +362,12 @@ impl GroupCommit {
             }
             st.syncing = true;
             let target = st.written;
+            let batch = target.saturating_sub(st.synced);
             drop(st);
+            let start = Instant::now();
             let result = self.file.sync_data();
+            self.obs.fsync_ns.record_duration(start.elapsed());
+            self.obs.batch.record(batch);
             self.syncs.fetch_add(1, Ordering::Relaxed);
             st = self.state.lock().unwrap();
             st.syncing = false;
@@ -391,12 +399,21 @@ pub struct Wal {
     records: u64,
     inline_syncs: u64,
     unsynced_reports: u64,
+    records_since_sync: u64,
+    obs: WalObs,
 }
 
 impl Wal {
     /// Create a fresh WAL at `path` (truncating any existing file),
-    /// write the magic header and sync it.
+    /// write the magic header and sync it. Latencies go to a private,
+    /// unregistered series; see [`Wal::create_observed`].
     pub fn create(path: &Path, sync: WalSync) -> Result<Wal, CoreError> {
+        Wal::create_observed(path, sync, WalObs::unregistered())
+    }
+
+    /// [`Wal::create`] recording append/fsync latency and group-commit
+    /// batch size into `obs`.
+    pub fn create_observed(path: &Path, sync: WalSync, obs: WalObs) -> Result<Wal, CoreError> {
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
@@ -411,13 +428,15 @@ impl Wal {
             .try_clone()
             .map_err(|e| wal_err("clone for group commit", path, &e))?;
         Ok(Wal {
-            group: GroupCommit::new(clone, path.to_path_buf()),
+            group: GroupCommit::new(clone, path.to_path_buf(), obs.clone()),
             file,
             path: path.to_path_buf(),
             sync,
             records: 0,
             inline_syncs: 0,
             unsynced_reports: 0,
+            records_since_sync: 0,
+            obs,
         })
     }
 
@@ -453,6 +472,7 @@ impl Wal {
     /// concurrent appenders share one fsync).
     pub fn append(&mut self, record: &WalRecord) -> Result<Commit, CoreError> {
         faults::hit("wal.before_append");
+        let start = Instant::now();
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         put_u32(&mut frame, payload.len() as u32);
@@ -468,6 +488,7 @@ impl Wal {
             .write_all(&frame)
             .map_err(|e| wal_err("append", &self.path, &e))?;
         self.records += 1;
+        self.records_since_sync += 1;
         let commit = match self.sync {
             WalSync::Always => {
                 self.group.note_written(self.records);
@@ -490,6 +511,7 @@ impl Wal {
                 Commit::Durable
             }
         };
+        self.obs.append_ns.record_duration(start.elapsed());
         faults::hit("wal.after_append");
         Ok(commit)
     }
@@ -498,9 +520,13 @@ impl Wal {
     pub fn sync(&mut self) -> Result<(), CoreError> {
         self.unsynced_reports = 0;
         self.inline_syncs += 1;
+        let batch = std::mem::take(&mut self.records_since_sync);
+        let start = Instant::now();
         self.file
             .sync_data()
             .map_err(|e| wal_err("sync", &self.path, &e))?;
+        self.obs.fsync_ns.record_duration(start.elapsed());
+        self.obs.batch.record(batch);
         // Everything written is now durable; release any group waiters.
         let mut st = self.group.state.lock().unwrap();
         st.synced = st.synced.max(st.written);
